@@ -1,0 +1,39 @@
+"""Ablation A2 — the number of backup-peers (§5.4; paper uses 20).
+
+"it is convenient to choose a sufficient number of backup-peers in order to
+ensure that at least one Backup is available ... If not, computations for
+this task should restart from the beginning."
+
+Shape assertions:
+* with 0 backup-peers every recovery is a restart-from-zero;
+* the restart-from-zero rate falls as the count grows;
+* every configuration still converges (from-zero restarts cost time, not
+  correctness).
+"""
+
+import pytest
+
+from repro.experiments.ablations import backup_count_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_backup_peer_count_survival(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: backup_count_ablation(
+            counts=(0, 1, 4, 7), n=48, peers=8, disconnections=5,
+            seeds=(0, 1, 2),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("backup_peers", table.format_table())
+
+    rate = {row[0]: row[4] for row in table.rows}
+    recoveries = {row[0]: row[2] for row in table.rows}
+    if recoveries[0]:
+        assert rate[0] == 1.0, "without guardians every restart is from zero"
+    # more guardians -> fewer from-zero restarts
+    assert rate[7] <= rate[1] <= rate[0]
+    assert rate[7] < 0.5
+    # everything converged regardless
+    assert all(row[1] is not None for row in table.rows)

@@ -1,0 +1,69 @@
+"""Ablation A4 — bootstrap & failure-detection scaling (§5.1–§5.3).
+
+The hybrid topology exists to keep joins and reservations cheap at scale:
+Daemons spread over the Super-Peers, and a silent peer is evicted within
+the heartbeat timeout.
+
+Shape assertions:
+* a whole population registers within a few heartbeat periods, at every
+  population size (no pile-up at one coordinator);
+* Daemon load is spread over the Super-Peers (max load ≪ population);
+* the Spawner detects a computing-peer failure within
+  heartbeat_timeout + 2·monitor_period (+ messaging slack).
+"""
+
+import pytest
+
+from repro.experiments.ablations import bootstrap_scaling
+from repro.experiments.config import EXPERIMENT_CONFIG, EXPERIMENT_LINK_SCALE
+from repro.p2p import build_cluster, launch_application
+from repro.apps import make_poisson_app
+
+
+@pytest.mark.benchmark(group="protocols")
+def test_bootstrap_population_scaling(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: bootstrap_scaling(populations=(10, 25, 50, 100)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("bootstrap_scaling", table.format_table())
+
+    for pop, registered_by, max_load in table.rows:
+        assert registered_by is not None, f"population {pop} never registered"
+        assert registered_by < 5.0
+        assert max_load < pop, "one Super-Peer swallowed the whole population"
+
+
+@pytest.mark.benchmark(group="protocols")
+def test_failure_detection_delay(benchmark, record_table):
+    cfg = EXPERIMENT_CONFIG
+
+    def measure():
+        cluster = build_cluster(
+            n_daemons=10, n_superpeers=3, seed=5, config=cfg,
+            link_scale=EXPERIMENT_LINK_SCALE,
+        )
+        app = make_poisson_app("p", n=48, num_tasks=6, overlap=2)
+        spawner = launch_application(cluster, app)
+        sim = cluster.sim
+        sim.run(until=0.6)  # everyone assigned and iterating
+        assert spawner.register.assigned_count() == 6
+        victim_name = spawner.register.slot(2).daemon_id.rsplit("#", 1)[0]
+        victim = next(
+            h for h in cluster.testbed.daemon_hosts if h.name == victim_name
+        )
+        fail_at = sim.now
+        victim.fail(cause="bench")
+        while spawner.failures_detected == 0 and sim.now < fail_at + 10:
+            sim.run(until=sim.now + 0.02)
+        return sim.now - fail_at
+
+    delay = benchmark.pedantic(measure, rounds=1, iterations=1)
+    bound = cfg.heartbeat_timeout + 2 * cfg.monitor_period + 0.1
+    record_table(
+        "failure_detection",
+        f"A4: spawner failure-detection delay = {delay:.3f}s "
+        f"(bound {bound:.3f}s; heartbeat_timeout={cfg.heartbeat_timeout}s)",
+    )
+    assert delay <= bound

@@ -1,0 +1,36 @@
+"""Ablation A1 — the JaceSave checkpoint frequency (§5.4; paper uses 5).
+
+"According to the considered scientific problem, it can be interesting to
+checkpoint tasks at each given number of iterations (and not at each
+iteration)."
+
+Shape assertions:
+* checkpoint traffic scales inversely with k;
+* every frequency still converges to the correct solution under churn;
+* recoveries resume from a checkpoint whose age is bounded by k.
+"""
+
+import pytest
+
+from repro.experiments.ablations import checkpoint_frequency_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_checkpoint_frequency_tradeoff(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: checkpoint_frequency_ablation(
+            frequencies=(1, 2, 5, 10, 20), n=64, peers=8, disconnections=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("checkpoint_frequency", table.format_table())
+
+    ks = [row[0] for row in table.rows]
+    traffic = {row[0]: row[2] for row in table.rows}
+    # checkpoint traffic must drop as k grows (roughly inverse)
+    assert traffic[1] > traffic[5] > traffic[20]
+    assert traffic[1] > 3 * traffic[20]
+    # all runs converged with a correct solution
+    assert all(row[1] is not None for row in table.rows)
+    assert all(row[5] for row in table.rows), "a frequency broke correctness"

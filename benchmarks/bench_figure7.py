@@ -1,0 +1,51 @@
+"""Figure 7 + claim C2 — the paper's headline result.
+
+Paper (§7, Fig. 7): Poisson execution time vs n (2000…5000) for 0…50 random
+disconnections on 80 peers; the maximum slowdown is ×2 at n = 2000 and ×2.5
+at n = 5000, and "although there are a large amount of disconnections, this
+factor does not increase much".
+
+Scaled replica: n ∈ {40…128} on 8 peers, 0…6 disconnections (same per-peer
+disconnection density), optimal overlap per n, checkpoint every 5
+iterations, 20 backup-peers (clamped), reconnect after the scaled delay.
+
+Shape assertions (not absolute numbers):
+* execution time grows with the number of disconnections for every n;
+* the max-churn slowdown stays within a small factor (< 4) for every n;
+* the slowdown factor varies only mildly across n (max/min < 2.5).
+"""
+
+import pytest
+
+from repro.experiments import figure7_sweep
+from repro.experiments.plotting import figure7_chart
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_execution_times(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: figure7_sweep(
+            ns=(40, 64, 96, 128),
+            disconnections=(0, 2, 4, 6),
+            peers=8,
+            repeats=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("figure7", result.format_table() + "\n\n" + figure7_chart(result))
+
+    for n in result.ns:
+        base = result.times[(n, 0)]
+        worst = result.times[(n, result.disconnections[-1])]
+        assert base > 0
+        # churn slows things down, but bounded: the paper's "supports
+        # disconnections rather well"
+        assert worst > base, f"n={n}: churn did not slow execution"
+        assert worst / base < 4.0, f"n={n}: slowdown {worst/base:.2f} too large"
+    slowdowns = [result.slowdown(n) for n in result.ns]
+    assert max(slowdowns) / min(slowdowns) < 2.5, (
+        "slowdown factor should vary only mildly with n (paper: x2 vs x2.5)"
+    )
+    # every run converged (the asynchronous algorithm tolerates the churn)
+    assert all(r.converged for r in result.runs)

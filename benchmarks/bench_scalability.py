@@ -1,0 +1,89 @@
+"""Extension bench — toward "several hundreds of peers" (§8).
+
+The paper's future work asks how the platform behaves "in a very large
+scale P2P network composed of several hundreds of peers".  Two probes:
+
+* the management plane: a 300-Daemon population bootstrapping into 5
+  Super-Peers — registration must stay fast and load stay spread;
+* the compute plane: the same Poisson problem on 4…16 peers — more peers
+  means thinner strips, a worse multisplitting and more boundary traffic,
+  so *iteration counts* rise with the peer count at fixed n (the classic
+  strong-scaling tension the paper's §7 setup quietly avoids by fixing 80
+  peers).
+"""
+
+import pytest
+
+from repro.apps import make_poisson_app
+from repro.experiments.config import (
+    EXPERIMENT_CONFIG,
+    EXPERIMENT_LINK_SCALE,
+    optimal_overlap,
+)
+from repro.experiments.report import format_table
+from repro.p2p import build_cluster, launch_application
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_bootstrap_three_hundred_daemons(benchmark, record_table):
+    def measure():
+        cluster = build_cluster(
+            n_daemons=300, n_superpeers=5, seed=3, config=EXPERIMENT_CONFIG,
+            link_scale=EXPERIMENT_LINK_SCALE,
+        )
+        sim = cluster.sim
+        while sim.now < 30.0 and cluster.registered_daemons() < 300:
+            sim.run(until=sim.now + 0.05)
+        loads = sorted(len(sp.register) for sp in cluster.superpeers)
+        return sim.now, cluster.registered_daemons(), loads
+
+    at, registered, loads = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_table(
+        "scalability_bootstrap",
+        f"§8 scale probe: 300 daemons over 5 super-peers\n"
+        f"  all registered by t={at:.3f}s; per-SP loads {loads}",
+    )
+    assert registered == 300
+    assert at < 5.0
+    assert max(loads) < 150  # spread, not piled on one super-peer
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_strong_scaling_peer_sweep(benchmark, record_table):
+    n = 96
+
+    def sweep():
+        rows = []
+        for peers in (4, 8, 16):
+            cluster = build_cluster(
+                n_daemons=peers + 6, n_superpeers=3, seed=4,
+                config=EXPERIMENT_CONFIG, link_scale=EXPERIMENT_LINK_SCALE,
+            )
+            app = make_poisson_app(
+                "p", n=n, num_tasks=peers, overlap=optimal_overlap(n, peers),
+            )
+            spawner = launch_application(cluster, app)
+            sim = cluster.sim
+            sim.run(until=sim.any_of([spawner.done, sim.timeout(600.0)]))
+            telemetry = cluster.telemetry
+            rows.append([
+                peers,
+                round(spawner.execution_time, 3) if spawner.done.triggered else None,
+                round(telemetry.mean_task_iterations, 1),
+                round(telemetry.useless_fraction, 3),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        "scalability_peers",
+        format_table(
+            ["peers", "time", "iters/task", "no-msg frac"],
+            rows,
+            title=f"§8 scale probe: strong scaling at n={n}",
+        ),
+    )
+    assert all(row[1] is not None for row in rows)
+    iters = [row[2] for row in rows]
+    # thinner strips -> weaker multisplitting -> more iterations per task
+    assert iters[0] < iters[-1]

@@ -1,0 +1,59 @@
+"""Claim C4 — synchronous iterations collapse under churn; async does not.
+
+Paper (§1): "due to the synchronizations ... all the nodes involved in the
+computation of an application would stop computing when a single
+disconnection occurs"; (§8): "synchronous iterations would dramatically
+slow down the execution in a dynamic and heterogeneous P2P network".
+
+Protocol: run JaceP2P (async) under the paper's churn, capture the exact
+disconnection trace, replay it against the BSP engine on an identical host
+population.  Shape assertions:
+
+* with NO churn, both models converge and sync is not dramatically slower
+  (barriers cost something, but the same math runs);
+* under churn, the synchronous run stalls (nonzero stall time), rolls the
+  whole computation back, and its time degrades relative to async.
+"""
+
+import pytest
+
+from repro.experiments import sync_vs_async
+
+
+@pytest.mark.benchmark(group="sync-vs-async")
+def test_sync_vs_async_no_churn(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: sync_vs_async(n=48, peers=8, disconnections=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("sync_vs_async_calm", result.format_table())
+    assert result.async_time is not None
+    assert result.sync_time is not None
+    assert result.sync_stall_time == 0.0
+    assert result.sync_rollbacks == 0
+
+
+@pytest.mark.benchmark(group="sync-vs-async")
+def test_sync_vs_async_under_churn(benchmark, record_table):
+    calm = sync_vs_async(n=48, peers=8, disconnections=0)
+    stormy = benchmark.pedantic(
+        lambda: sync_vs_async(n=48, peers=8, disconnections=3),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("sync_vs_async_churn", stormy.format_table())
+    assert stormy.async_time is not None
+    assert stormy.disconnections >= 1
+    assert stormy.sync_time is not None, "sync run did not finish in the horizon"
+    # the sync model stalls while machines are away and pays global rollbacks
+    assert stormy.sync_stall_time > 0.0
+    assert stormy.sync_rollbacks >= 1
+    assert stormy.sync_lost_iterations > 0
+    # degradation: sync loses MORE time to the same churn than async does
+    sync_degradation = stormy.sync_time - calm.sync_time
+    async_degradation = stormy.async_time - calm.async_time
+    assert sync_degradation > async_degradation, (
+        f"sync lost {sync_degradation:.2f}s vs async {async_degradation:.2f}s "
+        "to identical churn — the paper's C4 claim expects sync to lose more"
+    )

@@ -1,0 +1,32 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table/figure/claim from the paper's
+evaluation (see DESIGN.md §4).  Tables are printed to stdout (run with
+``-s`` to watch live) and written under ``benchmarks/results/`` so
+EXPERIMENTS.md can quote exact regenerated numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_table(results_dir):
+    """Print a result table and persist it under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Writing your own application: an asynchronous PageRank-style task.
+
+The paper's API contract (§4.2): "A user application is a SPMD Java program
+which uses JaceP2P methods by extending the Task class."  This example does
+the Python equivalent — subclass :class:`repro.p2p.Task`, implement the
+state and iteration hooks, and launch it on the runtime, with a machine
+failure thrown in to show checkpoint/rollback working for *custom* state.
+
+The computation: power iteration for the PageRank vector of a ring-of-
+cliques graph, partitioned by node ranges.  Each task owns a slice of the
+rank vector; boundary contributions flow asynchronously between neighbour
+slices.  The damping makes every update a contraction, so the chaotic
+(asynchronous) execution converges to the same fixed point.
+"""
+
+import numpy as np
+
+from repro.p2p import (
+    AppSpec,
+    IterationStep,
+    Task,
+    TaskContext,
+    build_cluster,
+    launch_application,
+)
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> np.ndarray:
+    """Column-stochastic link matrix of a ring of cliques."""
+    n = num_cliques * clique_size
+    A = np.zeros((n, n))
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(clique_size):
+                if i != j:
+                    A[base + i, base + j] = 1.0
+        # one edge to the next clique closes the ring
+        nxt = ((c + 1) % num_cliques) * clique_size
+        A[nxt, base] = 1.0
+    return A / np.maximum(A.sum(axis=0), 1.0)
+
+
+class PageRankTask(Task):
+    """One slice of the damped power iteration ``r ← d·M r + (1-d)/N``."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        super().setup(ctx)
+        cliques = int(ctx.params["cliques"])
+        size = int(ctx.params["clique_size"])
+        self.damping = float(ctx.params.get("damping", 0.85))
+        M = ring_of_cliques(cliques, size)
+        self.N = M.shape[0]
+        per = self.N // ctx.num_tasks
+        self.lo = ctx.task_id * per
+        self.hi = self.N if ctx.task_id == ctx.num_tasks - 1 else self.lo + per
+        self.M_rows = M[self.lo : self.hi, :]  # my rows need ALL columns
+        self.r_global = np.full(self.N, 1.0 / self.N)
+
+    def initial_state(self) -> dict:
+        return {"r_global": np.full(self.N, 1.0 / self.N)}
+
+    def load_state(self, state: dict) -> None:
+        self.r_global = np.array(state["r_global"], copy=True)
+
+    def dump_state(self) -> dict:
+        return {"r_global": self.r_global.copy()}
+
+    def iterate(self, inbox: dict) -> IterationStep:
+        # fold in the freshest slices the neighbours published
+        for _, (lo, hi, values) in inbox.items():
+            self.r_global[lo:hi] = values
+        mine_old = self.r_global[self.lo : self.hi].copy()
+        mine = self.damping * (self.M_rows @ self.r_global) + (1 - self.damping) / self.N
+        self.r_global[self.lo : self.hi] = mine
+        distance = float(np.max(np.abs(mine - mine_old)))
+        payload = (self.lo, self.hi, mine.copy())
+        outgoing = {
+            k: payload for k in range(self.ctx.num_tasks) if k != self.ctx.task_id
+        }
+        return IterationStep(
+            flops=2.0 * self.M_rows.size,
+            outgoing=outgoing,
+            local_distance=distance,
+        )
+
+    def solution_fragment(self):
+        return (self.lo, self.r_global[self.lo : self.hi].copy())
+
+
+def main() -> None:
+    cliques, clique_size, tasks = 6, 5, 3
+    app = AppSpec(
+        app_id="pagerank",
+        task_factory=PageRankTask,
+        num_tasks=tasks,
+        params={"cliques": cliques, "clique_size": clique_size},
+        convergence_threshold=1e-10,
+        stability_window=5,
+    )
+    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=11)
+    spawner = launch_application(cluster, app)
+
+    sim = cluster.sim
+    # sabotage: power off a computing machine mid-run
+    def saboteur(env):
+        yield env.timeout(0.12)
+        victims = [
+            h for h in cluster.testbed.daemon_hosts
+            if (d := cluster.daemons.get(h.name)) is not None
+            and d.runner is not None
+        ]
+        victims[0].fail(cause="example")
+        yield env.timeout(1.0)
+        victims[0].recover()
+
+    sim.process(saboteur(sim))
+    sim.run(until=sim.any_of([spawner.done, sim.timeout(600.0)]))
+    assert spawner.done.triggered, "did not converge"
+
+    collector = sim.process(spawner.collect_solution())
+    sim.run(until=collector)
+    N = cliques * clique_size
+    r = np.zeros(N)
+    for fragment in collector.value.values():
+        lo, values = fragment
+        r[lo : lo + len(values)] = values
+
+    # reference: dense damped power iteration
+    M = ring_of_cliques(cliques, clique_size)
+    ref = np.full(N, 1.0 / N)
+    for _ in range(500):
+        ref = 0.85 * (M @ ref) + 0.15 / N
+
+    print(f"converged at t={spawner.execution_time:.3f}s "
+          f"(recoveries: {len(cluster.telemetry.recoveries)})")
+    print(f"max |pagerank - reference| = {np.max(np.abs(r - ref)):.2e}")
+    top = np.argsort(r)[::-1][:5]
+    print("top nodes:", ", ".join(f"{i} ({r[i]:.4f})" for i in top))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs fail; ``python setup.py develop`` (or ``pip install -e .``
+on newer toolchains) installs the package from ``pyproject.toml`` metadata.
+"""
+from setuptools import setup
+
+setup()

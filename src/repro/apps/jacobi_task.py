@@ -1,0 +1,109 @@
+"""Point-Jacobi strips: the cheap-iteration contrast application.
+
+Each asynchronous iteration performs ``sweeps`` point-Jacobi relaxations on
+the local strip instead of an exact block solve.  Compute per iteration is
+tiny, so the compute/communication ratio — the paper's ratio (4) — is small:
+this app maximises the "useless iteration" phenomenon and stresses the
+messaging layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.numerics.poisson import Poisson2D
+from repro.numerics.residual import update_distance
+from repro.numerics.splitting import BlockDecomposition
+from repro.p2p.messages import AppSpec
+from repro.p2p.task import IterationStep, Task, TaskContext
+
+__all__ = ["JacobiTask", "make_jacobi_app"]
+
+
+class JacobiTask(Task):
+    """One strip relaxed with point-Jacobi sweeps.
+
+    ``ctx.params``: ``n`` (grid size), ``sweeps`` (relaxations per
+    asynchronous iteration, default 1), ``problem``.
+    """
+
+    def setup(self, ctx: TaskContext) -> None:
+        super().setup(ctx)
+        n = int(ctx.params["n"])
+        self.sweeps = int(ctx.params.get("sweeps", 1))
+        if self.sweeps < 1:
+            raise ValueError("sweeps must be >= 1")
+        problem = ctx.params.get("problem", "manufactured")
+        prob = (
+            Poisson2D.manufactured(n) if problem == "manufactured"
+            else Poisson2D.heat_plate(n)
+        )
+        decomp = BlockDecomposition(prob.A, prob.b, nblocks=ctx.num_tasks, line=n)
+        self.blk = decomp.blocks[ctx.task_id]
+        blk = self.blk
+        diag = blk.A_local.diagonal()
+        if (diag == 0).any():
+            raise ValueError("Jacobi needs a nonzero diagonal")
+        self.inv_diag = 1.0 / diag
+        #: local matrix without its diagonal (for x_new = D^{-1}(b - R x))
+        self.R = (blk.A_local - sp.diags(diag)).tocsr()
+        self.x = np.zeros(blk.n_ext)
+        self.ext = np.zeros(blk.ext_cols.size)
+
+    def initial_state(self) -> dict:
+        blk = self.blk
+        return {"x": np.zeros(blk.n_ext), "ext": np.zeros(blk.ext_cols.size)}
+
+    def load_state(self, state: dict) -> None:
+        self.x = np.array(state["x"], dtype=float, copy=True)
+        self.ext = np.array(state["ext"], dtype=float, copy=True)
+
+    def dump_state(self) -> dict:
+        return {"x": self.x.copy(), "ext": self.ext.copy()}
+
+    def iterate(self, inbox: dict[int, Any]) -> IterationStep:
+        blk = self.blk
+        for src_task, payload in inbox.items():
+            positions = blk.ext_sources.get(src_task)
+            if positions is None:
+                continue
+            values = np.asarray(payload, dtype=float)
+            if values.shape == (positions.size,):
+                self.ext[positions] = values
+
+        rhs = blk.b_local - (blk.B_coupling @ self.ext if self.ext.size else 0.0)
+        old_owned = blk.owned_of(self.x).copy()
+        x = self.x
+        for _ in range(self.sweeps):
+            x = self.inv_diag * (rhs - self.R @ x)
+        self.x = x
+        distance = update_distance(blk.owned_of(self.x), old_owned)
+        outgoing = {nb: blk.values_to_send(self.x, nb) for nb in blk.send_map}
+        flops = self.sweeps * (2.0 * self.R.nnz + 3.0 * blk.n_ext) + 2.0 * blk.B_coupling.nnz
+        return IterationStep(flops=flops, outgoing=outgoing, local_distance=distance)
+
+    def solution_fragment(self):
+        blk = self.blk
+        return (blk.own_start, blk.owned_of(self.x).copy())
+
+
+def make_jacobi_app(
+    app_id: str,
+    n: int,
+    num_tasks: int,
+    sweeps: int = 1,
+    problem: str = "manufactured",
+    convergence_threshold: float | None = None,
+    stability_window: int | None = None,
+) -> AppSpec:
+    return AppSpec(
+        app_id=app_id,
+        task_factory=JacobiTask,
+        num_tasks=num_tasks,
+        params={"n": n, "sweeps": sweeps, "problem": problem},
+        convergence_threshold=convergence_threshold,
+        stability_window=stability_window,
+    )

@@ -1,0 +1,43 @@
+"""The Backup object: one local checkpoint of one task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.serialization import clone_state, measured_size
+
+__all__ = ["Backup"]
+
+
+@dataclass(frozen=True)
+class Backup:
+    """An immutable snapshot of a task's state at one iteration.
+
+    The constructor deep-copies ``state``: a Backup must never alias live
+    task arrays, or later iterations would corrupt the checkpoint and
+    rollback would silently resume from a half-updated state.
+    """
+
+    task_id: int
+    iteration: int
+    state: Any
+    app_id: str = ""
+    created_at: float = 0.0
+    nbytes: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        object.__setattr__(self, "state", clone_state(self.state))
+        object.__setattr__(self, "nbytes", measured_size(self.state))
+
+    def restore(self) -> Any:
+        """A private copy of the stored state, safe to hand to a new task."""
+        return clone_state(self.state)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Backup task={self.task_id} iter={self.iteration} "
+            f"{self.nbytes}B app={self.app_id!r}>"
+        )

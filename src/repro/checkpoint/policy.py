@@ -1,0 +1,84 @@
+"""Backup placement policy.
+
+Paper §5.4: "During the whole execution of an application, a peer always
+saves its current Task object on the same set of neighbors (in a round-robin
+fashion)" and the experiments use "20 backup-peers ... for each task".
+
+The backup-peer set of task ``k`` is the ``count`` nearest *other* tasks in
+index space, alternating right/left with wrap-around — for count=2 this is
+exactly the paper's "left and right neighbors" example.  Identifying
+backup-peers by **task index** (not daemon identity) is what makes the set
+stable across replacements: the checkpoint goes to whichever Daemon
+currently runs the guarding task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BackupPolicy"]
+
+
+@dataclass(frozen=True)
+class BackupPolicy:
+    """Placement and frequency rules for one application.
+
+    Parameters
+    ----------
+    num_tasks:
+        Total tasks in the application.
+    count:
+        Number of backup-peers guarding each task (clamped to
+        ``num_tasks - 1``; paper default 20).
+    frequency:
+        Checkpoint every ``frequency`` iterations — the ``JaceSave``
+        setting (paper experiments: 5).
+    """
+
+    num_tasks: int
+    count: int = 20
+    frequency: int = 5
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+        if self.frequency < 1:
+            raise ValueError("frequency must be >= 1")
+
+    @property
+    def effective_count(self) -> int:
+        return min(self.count, self.num_tasks - 1)
+
+    def backup_peers(self, task_id: int) -> list[int]:
+        """The fixed set of task indices guarding ``task_id``.
+
+        Ordered by proximity, alternating successor/predecessor:
+        ``[k+1, k-1, k+2, k-2, ...]`` (mod num_tasks), self excluded.
+        """
+        if not 0 <= task_id < self.num_tasks:
+            raise ValueError(f"task_id {task_id} out of range")
+        peers: list[int] = []
+        offset = 1
+        while len(peers) < self.effective_count:
+            for candidate in (task_id + offset, task_id - offset):
+                c = candidate % self.num_tasks
+                if c != task_id and c not in peers:
+                    peers.append(c)
+                if len(peers) >= self.effective_count:
+                    break
+            offset += 1
+        return peers
+
+    def target_for_save(self, task_id: int, save_index: int) -> int | None:
+        """Which backup-peer receives the ``save_index``-th checkpoint
+        (round-robin over the fixed set); None when nobody guards us."""
+        peers = self.backup_peers(task_id)
+        if not peers:
+            return None
+        return peers[save_index % len(peers)]
+
+    def checkpoint_due(self, iteration: int) -> bool:
+        """True on iterations 1·f, 2·f, ... (never at iteration 0)."""
+        return iteration > 0 and iteration % self.frequency == 0

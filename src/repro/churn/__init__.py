@@ -1,0 +1,29 @@
+"""``repro.churn`` — dynamicity models (paper §7's disconnection protocol).
+
+The paper's experiment: "The peers are randomly disconnected during the
+execution, and they are reconnected about 20 seconds later", with 0–50
+disconnections per run.  :class:`PaperChurn` reproduces exactly that;
+:class:`PoissonChurn` provides an open-ended arrival-process alternative;
+:class:`TraceChurn` replays a recorded schedule so baselines face the
+*identical* failure pattern.
+"""
+
+from repro.churn.models import (
+    ChurnEvent,
+    ChurnModel,
+    NoChurn,
+    PaperChurn,
+    PoissonChurn,
+    TraceChurn,
+)
+from repro.churn.injector import ChurnInjector
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnModel",
+    "NoChurn",
+    "PaperChurn",
+    "PoissonChurn",
+    "TraceChurn",
+    "ChurnInjector",
+]

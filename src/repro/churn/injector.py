@@ -1,0 +1,95 @@
+"""The failure injector: a simulation process that executes a churn schedule.
+
+For each :class:`~repro.churn.models.ChurnEvent` it fails a victim host
+(interrupting its Daemon and destroying its mailboxes) and schedules the
+recovery ``duration`` seconds later, after which the host's ``on_recover``
+hooks re-boot a fresh Daemon that re-registers with the Super-Peer network —
+the full disconnection/reconnection cycle of §7.
+
+The injector records what it actually did as a :class:`TraceChurn`-able
+event list, so a run can be replayed against a different engine (the
+sync-vs-async ablation depends on this).
+"""
+
+from __future__ import annotations
+
+from repro.churn.models import ChurnEvent, ChurnModel
+from repro.des import Simulator
+from repro.net.host import Host
+from repro.util.logging import EventLog
+from repro.util.rng import RngTree
+
+__all__ = ["ChurnInjector"]
+
+
+class ChurnInjector:
+    """Executes a churn schedule against a pool of victim hosts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hosts: list[Host],
+        model: ChurnModel,
+        rng: RngTree,
+        horizon: float,
+        log: EventLog | None = None,
+        victim_filter=None,
+    ):
+        """``victim_filter(host) -> bool`` narrows random victim selection
+        (e.g. to hosts currently running a task, matching the paper's
+        disconnection of *computing* peers); when no host passes the
+        filter, selection falls back to any alive host."""
+        if not hosts:
+            raise ValueError("need at least one victim host")
+        self.sim = sim
+        self.hosts = list(hosts)
+        self.model = model
+        self.rng = rng
+        self.log = log
+        self.victim_filter = victim_filter
+        self.schedule = model.schedule(rng.child("schedule"), horizon)
+        self.executed: list[ChurnEvent] = []
+        self.skipped = 0  # events with no alive victim available
+        self.process = sim.process(self._run(), label="churn-injector")
+
+    def _pick_victim(self, event: ChurnEvent) -> Host | None:
+        if event.host is not None:
+            host = next((h for h in self.hosts if h.name == event.host), None)
+            return host if host is not None and host.online else None
+        alive = [h for h in self.hosts if h.online]
+        if not alive:
+            return None
+        if self.victim_filter is not None:
+            preferred = [h for h in alive if self.victim_filter(h)]
+            if preferred:
+                alive = preferred
+        return self.rng.child("victim", len(self.executed) + self.skipped).choice(alive)
+
+    def _run(self):
+        for event in self.schedule:
+            delay = event.time - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            victim = self._pick_victim(event)
+            if victim is None:
+                self.skipped += 1
+                if self.log is not None:
+                    self.log.emit(self.sim.now, "churn", "churn_skipped")
+                continue
+            victim.fail(cause="churn")
+            self.executed.append(ChurnEvent(self.sim.now, event.duration, victim.name))
+            if self.log is not None:
+                self.log.emit(self.sim.now, "churn", "disconnect",
+                              host=victim.name, duration=event.duration)
+            self.sim.process(self._recover_later(victim, event.duration),
+                             label=f"churn-recover:{victim.name}")
+
+    def _recover_later(self, host: Host, duration: float):
+        yield self.sim.timeout(duration)
+        host.recover()
+        if self.log is not None:
+            self.log.emit(self.sim.now, "churn", "reconnect", host=host.name)
+
+    @property
+    def disconnections(self) -> int:
+        return len(self.executed)

@@ -1,0 +1,122 @@
+"""Churn schedules: when machines go down and for how long."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import RngTree
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnModel",
+    "NoChurn",
+    "PaperChurn",
+    "PoissonChurn",
+    "TraceChurn",
+]
+
+
+@dataclass(frozen=True, order=True)
+class ChurnEvent:
+    """One disconnection: at ``time``, some host goes down for ``duration``.
+
+    ``host`` is None for "pick a random alive victim at fire time" (the
+    paper's protocol) or a host name for trace replay.
+    """
+
+    time: float
+    duration: float
+    host: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.duration <= 0:
+            raise ValueError("time must be >= 0 and duration > 0")
+
+
+class ChurnModel:
+    """Interface: produce the disconnection schedule for one run."""
+
+    def schedule(self, rng: RngTree, horizon: float) -> list[ChurnEvent]:
+        raise NotImplementedError  # pragma: no cover
+
+
+class NoChurn(ChurnModel):
+    """The stable-network control (0 disconnections)."""
+
+    def schedule(self, rng: RngTree, horizon: float) -> list[ChurnEvent]:
+        return []
+
+
+@dataclass(frozen=True)
+class PaperChurn(ChurnModel):
+    """The paper's protocol: ``n_disconnections`` at uniform-random times in
+    ``[start_fraction·horizon, end_fraction·horizon]``; each victim
+    reconnects ``reconnect_delay`` seconds later (paper: ≈20 s).
+
+    Victims are chosen at fire time among currently-alive computing peers
+    (``host=None`` in the emitted events).
+    """
+
+    n_disconnections: int
+    reconnect_delay: float = 20.0
+    start_fraction: float = 0.05
+    end_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.n_disconnections < 0:
+            raise ValueError("n_disconnections must be >= 0")
+        if self.reconnect_delay <= 0:
+            raise ValueError("reconnect_delay must be positive")
+        if not 0.0 <= self.start_fraction < self.end_fraction <= 1.0:
+            raise ValueError("need 0 <= start_fraction < end_fraction <= 1")
+
+    def schedule(self, rng: RngTree, horizon: float) -> list[ChurnEvent]:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        lo = self.start_fraction * horizon
+        hi = self.end_fraction * horizon
+        times = sorted(
+            rng.child("times", i).uniform(lo, hi)
+            for i in range(self.n_disconnections)
+        )
+        return [ChurnEvent(t, self.reconnect_delay) for t in times]
+
+
+@dataclass(frozen=True)
+class PoissonChurn(ChurnModel):
+    """Memoryless arrivals: disconnections as a Poisson process of ``rate``
+    events/second, each down for an exponential time of mean
+    ``mean_downtime`` (a common open-network churn model)."""
+
+    rate: float
+    mean_downtime: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0 or self.mean_downtime <= 0:
+            raise ValueError("rate must be >= 0, mean_downtime > 0")
+
+    def schedule(self, rng: RngTree, horizon: float) -> list[ChurnEvent]:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        events: list[ChurnEvent] = []
+        t = 0.0
+        arrival = rng.child("arrivals")
+        downtime = rng.child("downtimes")
+        if self.rate == 0:
+            return events
+        while True:
+            t += arrival.exponential(1.0 / self.rate)
+            if t >= horizon:
+                return events
+            events.append(ChurnEvent(t, max(downtime.exponential(self.mean_downtime), 1e-3)))
+
+
+@dataclass(frozen=True)
+class TraceChurn(ChurnModel):
+    """Replay a fixed schedule (host names pinned), for apples-to-apples
+    baseline comparisons and regression tests."""
+
+    events: tuple[ChurnEvent, ...]
+
+    def schedule(self, rng: RngTree, horizon: float) -> list[ChurnEvent]:
+        return sorted(self.events)

@@ -1,0 +1,211 @@
+"""Command-line interface for the experiment harness.
+
+Usage::
+
+    python -m repro.cli run --n 48 --peers 8 --disconnections 3
+    python -m repro.cli figure7 [--quick]
+    python -m repro.cli iterations
+    python -m repro.cli syncasync --disconnections 3
+    python -m repro.cli ablation {checkpoint,backup,overlap,bootstrap}
+
+Every subcommand prints the same table its benchmark counterpart records
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    figure7_sweep,
+    iterations_vs_n,
+    run_poisson_on_p2p,
+    sync_vs_async,
+)
+from repro.experiments.ablations import (
+    backup_count_ablation,
+    bootstrap_scaling,
+    checkpoint_frequency_ablation,
+    overlap_ablation,
+)
+from repro.experiments.report import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate the JaceP2P paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one Poisson execution on the P2P runtime")
+    run.add_argument("--n", type=int, default=48, help="grid size (system is n^2)")
+    run.add_argument("--peers", type=int, default=8)
+    run.add_argument("--disconnections", type=int, default=0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--overlap", type=int, default=None)
+    run.add_argument("--warm-start", action="store_true")
+    run.add_argument("--csv", metavar="PATH", default=None,
+                     help="also write the run as a CSV row")
+
+    fig7 = sub.add_parser("figure7", help="the paper's Figure 7 sweep")
+    fig7.add_argument("--quick", action="store_true",
+                      help="2 sizes x 3 churn levels instead of 4 x 4")
+    fig7.add_argument("--repeats", type=int, default=1)
+    fig7.add_argument("--seed", type=int, default=0)
+    fig7.add_argument("--csv", metavar="PATH", default=None,
+                      help="also write the aggregated grid as CSV")
+
+    iters = sub.add_parser("iterations", help="claims C1/C3: iteration counts vs n")
+    iters.add_argument("--csv", metavar="PATH", default=None)
+
+    timeline = sub.add_parser(
+        "timeline", help="narrated churn run: event log + activity chart"
+    )
+    timeline.add_argument("--n", type=int, default=64)
+    timeline.add_argument("--peers", type=int, default=6)
+    timeline.add_argument("--disconnections", type=int, default=3)
+    timeline.add_argument("--seed", type=int, default=13)
+
+    sa = sub.add_parser("syncasync", help="claim C4: sync vs async under churn")
+    sa.add_argument("--n", type=int, default=48)
+    sa.add_argument("--disconnections", type=int, default=3)
+    sa.add_argument("--seed", type=int, default=0)
+
+    ab = sub.add_parser("ablation", help="design-choice ablations A1-A4")
+    ab.add_argument("which", choices=["checkpoint", "backup", "overlap",
+                                      "bootstrap"])
+    return parser
+
+
+def _cmd_run(args) -> int:
+    result = run_poisson_on_p2p(
+        n=args.n, peers=args.peers, disconnections=args.disconnections,
+        seed=args.seed, overlap=args.overlap, warm_start=args.warm_start,
+    )
+    row = result.row()
+    print(format_table(list(row), [list(row.values())],
+                       title="single run (simulated seconds)"))
+    if args.csv:
+        from repro.experiments.export import runs_to_csv, write_csv
+
+        write_csv(runs_to_csv([result]), args.csv)
+        print(f"wrote {args.csv}")
+    if not result.converged:
+        print("WARNING: did not converge within the horizon", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_figure7(args) -> int:
+    if args.quick:
+        result = figure7_sweep(ns=(40, 64), disconnections=(0, 2, 4),
+                               repeats=args.repeats, base_seed=args.seed)
+    else:
+        result = figure7_sweep(repeats=args.repeats, base_seed=args.seed)
+    print(result.format_table())
+    from repro.experiments.plotting import figure7_chart
+
+    print()
+    print(figure7_chart(result))
+    if args.csv:
+        from repro.experiments.export import figure7_to_csv, write_csv
+
+        write_csv(figure7_to_csv(result), args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_iterations(args) -> int:
+    result = iterations_vs_n()
+    print(result.format_table())
+    if args.csv:
+        from repro.experiments.export import ratio_to_csv, write_csv
+
+        write_csv(ratio_to_csv(result), args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from repro.apps import make_poisson_app
+    from repro.churn import ChurnInjector, PaperChurn
+    from repro.experiments.config import (
+        EXPERIMENT_CONFIG,
+        EXPERIMENT_LINK_SCALE,
+        optimal_overlap,
+    )
+    from repro.experiments.timeline import (
+        activity_chart,
+        event_timeline,
+        run_summary,
+    )
+    from repro.p2p import build_cluster, launch_application
+    from repro.util.rng import RngTree
+
+    cluster = build_cluster(
+        n_daemons=args.peers * 2, n_superpeers=3, seed=args.seed,
+        config=EXPERIMENT_CONFIG, link_scale=EXPERIMENT_LINK_SCALE,
+    )
+    app = make_poisson_app(
+        "timeline", n=args.n, num_tasks=args.peers,
+        overlap=optimal_overlap(args.n, args.peers),
+    )
+    spawner = launch_application(cluster, app)
+    if args.disconnections:
+        ChurnInjector(
+            cluster.sim, cluster.testbed.daemon_hosts,
+            PaperChurn(args.disconnections, reconnect_delay=1.0),
+            RngTree(args.seed).child("churn"), horizon=1.5, log=cluster.log,
+            victim_filter=lambda h: (
+                (d := cluster.daemons.get(h.name)) is not None
+                and d.runner is not None
+            ),
+        )
+    sim = cluster.sim
+    sim.run(until=sim.any_of([spawner.done, sim.timeout(900.0)]))
+    print(event_timeline(cluster.log))
+    print()
+    print(activity_chart(cluster.log, width=70))
+    print()
+    for key, value in run_summary(cluster.log).items():
+        print(f"{key:>18}: {value}")
+    return 0 if spawner.done.triggered else 1
+
+
+def _cmd_syncasync(args) -> int:
+    result = sync_vs_async(n=args.n, disconnections=args.disconnections,
+                           seed=args.seed)
+    print(result.format_table())
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    table = {
+        "checkpoint": checkpoint_frequency_ablation,
+        "backup": backup_count_ablation,
+        "overlap": overlap_ablation,
+        "bootstrap": bootstrap_scaling,
+    }[args.which]()
+    print(table.format_table())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "figure7": _cmd_figure7,
+        "iterations": _cmd_iterations,
+        "syncasync": _cmd_syncasync,
+        "ablation": _cmd_ablation,
+        "timeline": _cmd_timeline,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""``repro.convergence`` — convergence detection (paper §5.5).
+
+Local detection runs on each Daemon: a task is *locally stable* when the
+relative distance between successive iterates stays below a threshold for a
+window of consecutive iterations.  Global detection is centralized on the
+Spawner: an array with one stable/unstable bit per task, updated by 1/0
+messages from the Daemons; global convergence = all bits set.
+"""
+
+from repro.convergence.local import LocalConvergenceDetector
+from repro.convergence.global_ import GlobalConvergenceTracker
+
+__all__ = ["LocalConvergenceDetector", "GlobalConvergenceTracker"]

@@ -1,0 +1,53 @@
+"""Centralized global convergence tracking (the Spawner's array, §5.5).
+
+The tracker holds one bit per task.  A task's bit is set by 1-messages and
+cleared by 0-messages from whichever Daemon currently runs it; it is also
+cleared whenever the task is **reassigned** after a failure (the restarted
+task resumes from an older checkpoint, so its previous stability claim no
+longer holds).  Global convergence = every bit set.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GlobalConvergenceTracker"]
+
+
+class GlobalConvergenceTracker:
+    """The Spawner's convergence array."""
+
+    def __init__(self, num_tasks: int):
+        if num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        self.num_tasks = num_tasks
+        self.states = [False] * num_tasks
+        self.messages_received = 0
+        self.resets_on_reassign = 0
+
+    def set_state(self, task_id: int, stable: bool) -> None:
+        """Apply a 1/0 message from a Daemon."""
+        self._check(task_id)
+        self.messages_received += 1
+        self.states[task_id] = bool(stable)
+
+    def reset_task(self, task_id: int) -> None:
+        """Clear a task's bit on reassignment after a failure."""
+        self._check(task_id)
+        if self.states[task_id]:
+            self.resets_on_reassign += 1
+        self.states[task_id] = False
+
+    @property
+    def converged(self) -> bool:
+        return all(self.states)
+
+    @property
+    def stable_count(self) -> int:
+        return sum(self.states)
+
+    def _check(self, task_id: int) -> None:
+        if not 0 <= task_id < self.num_tasks:
+            raise ValueError(f"task_id {task_id} out of range [0, {self.num_tasks})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        bits = "".join("1" if s else "0" for s in self.states)
+        return f"<GlobalConvergenceTracker {bits}>"

@@ -1,0 +1,59 @@
+"""Per-task local convergence detection.
+
+Paper §5.5: "the convergence is commonly associated with the relative error
+between the last two iterations" and "When a peer is in a local stable state
+during a given number of iterations, it sends 1" — i.e. a threshold on the
+update distance plus a stability window to ride out transient lulls (an
+asynchronous iteration can look momentarily still while waiting for fresh
+neighbour data).
+"""
+
+from __future__ import annotations
+
+__all__ = ["LocalConvergenceDetector"]
+
+
+class LocalConvergenceDetector:
+    """Streaming detector over per-iteration update distances.
+
+    ``update(distance)`` returns True exactly when the reported state flips
+    (the moment a 1/0 message must be sent to the Spawner) — callers read
+    the new state from :attr:`stable`.
+    """
+
+    def __init__(self, threshold: float, stability_window: int = 3):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if stability_window < 1:
+            raise ValueError("stability_window must be >= 1")
+        self.threshold = threshold
+        self.stability_window = stability_window
+        self.quiet_streak = 0
+        self.stable = False
+        self.flips = 0
+
+    def update(self, distance: float) -> bool:
+        """Feed one iteration's update distance; True when the state flips."""
+        if distance < 0:
+            raise ValueError("distance must be >= 0")
+        if distance < self.threshold:
+            self.quiet_streak += 1
+        else:
+            self.quiet_streak = 0
+        new_state = self.quiet_streak >= self.stability_window
+        flipped = new_state != self.stable
+        if flipped:
+            self.stable = new_state
+            self.flips += 1
+        return flipped
+
+    def reset(self) -> None:
+        """Forget history (used when a task restarts from a checkpoint)."""
+        self.quiet_streak = 0
+        self.stable = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<LocalConvergenceDetector stable={self.stable} "
+            f"streak={self.quiet_streak}/{self.stability_window}>"
+        )

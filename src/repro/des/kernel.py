@@ -1,0 +1,129 @@
+"""The simulation kernel: a deterministic event loop.
+
+The heap orders events by ``(time, priority, sequence)``.  The sequence
+number makes simultaneous events process in creation order, which removes
+every source of nondeterminism other than the seeded RNG streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable
+
+from repro.des.events import AllOf, AnyOf, Event, Timeout
+from repro.des.process import Process
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    Parameters
+    ----------
+    start:
+        Initial simulation time (seconds).
+    strict:
+        When True (default), an uncaught exception inside a process aborts
+        :meth:`run` by re-raising it — silent process crashes hide protocol
+        bugs.  Unhandled :class:`~repro.des.process.Interrupt` is *not* an
+        error (it is the normal way churn kills a peer).
+    """
+
+    def __init__(self, start: float = 0.0, strict: bool = True):
+        self.now = float(start)
+        self.strict = strict
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+        self._crashed: list[tuple[Process, BaseException]] = []
+        self.event_count = 0  # processed events, for micro-benchmarks
+
+    # -- factory helpers -------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, label: str = "") -> Process:
+        return Process(self, generator, label=label)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event heap went backwards")
+        self.now = when
+        event._run_callbacks()
+        self.event_count += 1
+        if self.strict and self._crashed:
+            proc, exc = self._crashed[0]
+            raise SimulationError(
+                f"process {proc.name!r} crashed at t={self.now}: {exc!r}"
+            ) from exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the schedule drains, a deadline passes, or an event fires.
+
+        * ``until=None`` — run to exhaustion.
+        * ``until=<float>`` — run while events are scheduled strictly before
+          the deadline, then set ``now`` to the deadline.
+        * ``until=<Event>`` — run until that event is processed; returns its
+          value (re-raising if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            if sentinel.sim is not self:
+                raise SimulationError("until-event belongs to a different simulator")
+            while not sentinel.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "schedule drained before the until-event fired (deadlock?)"
+                    )
+                self.step()
+            if not sentinel._ok:
+                raise sentinel._value
+            return sentinel._value
+
+        deadline = float(until)
+        if deadline < self.now:
+            raise SimulationError(f"deadline {deadline} is in the past (now={self.now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.now = deadline
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Simulator t={self.now} queued={len(self._heap)}>"

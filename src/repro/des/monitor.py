@@ -1,0 +1,71 @@
+"""Measurement probes for simulations.
+
+:class:`Probe` accumulates scalar observations with timestamps;
+:class:`PeriodicSampler` runs as a process and samples a callable at a fixed
+simulated period (e.g. queue depths, number of alive peers).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.util.stats import OnlineStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.kernel import Simulator
+
+__all__ = ["Probe", "PeriodicSampler"]
+
+
+class Probe:
+    """Timestamped scalar series with online summary statistics.
+
+    ``keep_series=False`` keeps only the summary (for memory-bound runs).
+    """
+
+    def __init__(self, name: str, keep_series: bool = True):
+        self.name = name
+        self.keep_series = keep_series
+        self.times: list[float] = []
+        self.values: list[float] = []
+        self.stats = OnlineStats()
+
+    def observe(self, time: float, value: float) -> None:
+        self.stats.add(value)
+        if self.keep_series:
+            self.times.append(float(time))
+            self.values.append(float(value))
+
+    def last(self) -> float | None:
+        return self.values[-1] if self.values else None
+
+    def __len__(self) -> int:
+        return self.stats.count
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, **self.stats.as_dict()}
+
+
+class PeriodicSampler:
+    """Samples ``fn()`` every ``period`` simulated seconds into a probe."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        fn: Callable[[], float],
+        period: float,
+        name: str = "sampler",
+        horizon: float = float("inf"),
+    ):
+        if period <= 0:
+            raise ValueError("sampling period must be positive")
+        self.probe = Probe(name)
+        self._fn = fn
+        self._period = period
+        self._horizon = horizon
+        self.process = sim.process(self._run(sim), label=f"sampler:{name}")
+
+    def _run(self, sim: "Simulator"):
+        while sim.now < self._horizon:
+            self.probe.observe(sim.now, float(self._fn()))
+            yield sim.timeout(self._period)

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the runtime with a single ``except`` clause
+while still distinguishing subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event kernel (e.g. scheduling an
+    event in the past, resuming a dead process)."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate failures."""
+
+
+class HostDownError(NetworkError):
+    """An operation was attempted on a host that is currently disconnected."""
+
+
+class LinkDownError(NetworkError):
+    """A message was sent over a link that is partitioned or removed."""
+
+
+class RemoteError(ReproError):
+    """A remote invocation failed (dead peer, marshalling failure, or the
+    remote method itself raised).
+
+    Mirrors Java's ``RemoteException``: the JaceP2P runtime treats it as the
+    signal that a peer is unreachable.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class BootstrapError(ReproError):
+    """No Super-Peer in the bootstrap list could be reached."""
+
+
+class ReservationError(ReproError):
+    """The Super-Peer network could not reserve the requested number of
+    Daemons."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint storage or recovery failure."""
+
+
+class NoBackupAvailableError(CheckpointError):
+    """Every backup-peer holding a task's checkpoints has failed; the task
+    must restart from iteration 0 (paper §5.4)."""
+
+
+class ConvergenceError(ReproError):
+    """The iterative method failed to converge within the allowed budget."""
+
+
+class TaskError(ReproError):
+    """A user Task implementation raised or violated the Task contract."""
+
+
+class NotSupportedError(ReproError):
+    """The requested operation is not expressible in the chosen model (e.g.
+    inter-task communication under the master-slave baseline)."""

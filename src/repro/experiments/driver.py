@@ -1,0 +1,186 @@
+"""The single-run driver: one Poisson execution on the P2P runtime.
+
+:func:`run_poisson_on_p2p` is the atom every experiment is built from: it
+assembles a cluster, launches the paper's application, optionally injects
+the paper's churn protocol (random disconnections of computing peers,
+reconnect after a fixed delay), drives the simulation to global convergence
+and returns a fully populated :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import make_poisson_app
+from repro.churn import ChurnInjector, NoChurn, PaperChurn
+from repro.experiments.config import (
+    EXPERIMENT_CONFIG,
+    EXPERIMENT_LINK_SCALE,
+    RECONNECT_DELAY,
+    optimal_overlap,
+)
+from repro.numerics import Poisson2D
+from repro.p2p import P2PConfig, build_cluster, launch_application
+from repro.util.rng import RngTree
+
+__all__ = ["RunResult", "run_poisson_on_p2p"]
+
+
+@dataclass
+class RunResult:
+    """Everything one experiment run reports."""
+
+    n: int
+    peers: int
+    disconnections_requested: int
+    disconnections_executed: int
+    seed: int
+    overlap: int
+    converged: bool
+    simulated_time: float | None
+    total_iterations: int
+    mean_iterations_per_task: float
+    useless_fraction: float
+    residual: float | None
+    recoveries: int
+    restarts_from_zero: int
+    replacements: int
+    checkpoints_sent: int
+    data_messages: int
+
+    def row(self) -> dict:
+        return {
+            "n": self.n,
+            "size": self.n * self.n,
+            "disc": self.disconnections_executed,
+            "time": self.simulated_time,
+            "iters/task": round(self.mean_iterations_per_task, 1),
+            "useless": round(self.useless_fraction, 3),
+            "residual": self.residual,
+            "recoveries": self.recoveries,
+        }
+
+
+def run_poisson_on_p2p(
+    n: int,
+    peers: int = 8,
+    disconnections: int = 0,
+    seed: int = 0,
+    overlap: int | None = None,
+    config: P2PConfig | None = None,
+    n_daemons: int | None = None,
+    n_superpeers: int = 3,
+    churn_window: float | None = None,
+    reconnect_delay: float = RECONNECT_DELAY,
+    link_scale: float = EXPERIMENT_LINK_SCALE,
+    horizon: float = 900.0,
+    convergence_threshold: float = 1e-6,
+    collect: bool = True,
+    warm_start: bool = False,
+) -> RunResult:
+    """Run the paper's experiment once.
+
+    ``churn_window`` is the span (simulated seconds) over which the
+    requested disconnections are spread; when None and churn is requested,
+    a churn-free calibration run with the same parameters measures it —
+    mirroring the paper, which disconnects peers "during the execution".
+    """
+    if peers < 1:
+        raise ValueError("peers must be >= 1")
+    if disconnections < 0:
+        raise ValueError("disconnections must be >= 0")
+    config = config or EXPERIMENT_CONFIG
+    if overlap is None:
+        overlap = optimal_overlap(n, peers)
+    if n_daemons is None:
+        n_daemons = peers + max(3, peers // 2)  # spares for replacements
+
+    if disconnections > 0 and churn_window is None:
+        calibration = run_poisson_on_p2p(
+            n=n, peers=peers, disconnections=0, seed=seed, overlap=overlap,
+            config=config, n_daemons=n_daemons, n_superpeers=n_superpeers,
+            link_scale=link_scale, horizon=horizon,
+            convergence_threshold=convergence_threshold, collect=False,
+            warm_start=warm_start,
+        )
+        if not calibration.converged:
+            return calibration
+        churn_window = calibration.simulated_time
+
+    cluster = build_cluster(
+        n_daemons=n_daemons,
+        n_superpeers=n_superpeers,
+        seed=seed,
+        config=config,
+        link_scale=link_scale,
+    )
+    app = make_poisson_app(
+        "poisson",
+        n=n,
+        num_tasks=peers,
+        overlap=overlap,
+        convergence_threshold=convergence_threshold,
+        warm_start=warm_start,
+    )
+    spawner = launch_application(cluster, app)
+
+    injector = None
+    if disconnections > 0:
+        model = PaperChurn(
+            n_disconnections=disconnections,
+            reconnect_delay=reconnect_delay,
+        )
+        injector = ChurnInjector(
+            cluster.sim,
+            cluster.testbed.daemon_hosts,
+            model,
+            RngTree(seed).child("churn"),
+            horizon=churn_window,
+            log=cluster.log,
+            victim_filter=lambda h: (
+                (d := cluster.daemons.get(h.name)) is not None
+                and d.runner is not None
+            ),
+        )
+
+    sim = cluster.sim
+    sim.run(until=sim.any_of([spawner.done, sim.timeout(horizon)]))
+    converged = spawner.done.triggered
+
+    residual = None
+    if collect and converged:
+        proc = sim.process(spawner.collect_solution())
+        sim.run(until=proc)
+        x = np.zeros(n * n)
+        missing = False
+        for frag in proc.value.values():
+            if frag is None:
+                missing = True
+                continue
+            offset, values = frag
+            x[offset : offset + len(values)] = values
+        if not missing:
+            residual = Poisson2D.manufactured(n).residual_norm(x)
+
+    telemetry = cluster.telemetry
+    return RunResult(
+        n=n,
+        peers=peers,
+        disconnections_requested=disconnections,
+        disconnections_executed=injector.disconnections if injector else 0,
+        seed=seed,
+        overlap=overlap,
+        converged=converged,
+        simulated_time=spawner.execution_time,
+        total_iterations=telemetry.total_iterations,
+        mean_iterations_per_task=telemetry.mean_task_iterations,
+        useless_fraction=telemetry.useless_fraction,
+        residual=residual,
+        recoveries=len(telemetry.recoveries),
+        restarts_from_zero=telemetry.restarts_from_zero,
+        replacements=spawner.replacements,
+        checkpoints_sent=telemetry.checkpoints_sent,
+        data_messages=telemetry.data_messages_sent,
+    )

@@ -1,0 +1,91 @@
+"""Result export: experiment outputs as CSV for external plotting.
+
+Each exporter takes the in-memory result object its experiment produced
+and writes a flat CSV (header + rows) — the format a downstream gnuplot /
+matplotlib / spreadsheet step actually wants, keeping the library free of
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Sequence
+
+from repro.experiments.driver import RunResult
+from repro.experiments.figure7 import Figure7Result
+from repro.experiments.ratio import RatioResult
+
+__all__ = [
+    "rows_to_csv",
+    "runs_to_csv",
+    "figure7_to_csv",
+    "ratio_to_csv",
+    "write_csv",
+]
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render headers+rows as CSV text (RFC-4180 quoting)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(["" if v is None else v for v in row])
+    return buffer.getvalue()
+
+
+def runs_to_csv(runs: Sequence[RunResult]) -> str:
+    """One row per :class:`RunResult` (the raw sweep data behind Fig. 7)."""
+    headers = [
+        "n", "size", "peers", "overlap", "seed",
+        "disconnections_requested", "disconnections_executed",
+        "converged", "simulated_time", "total_iterations",
+        "mean_iterations_per_task", "useless_fraction", "residual",
+        "recoveries", "restarts_from_zero", "replacements",
+        "checkpoints_sent", "data_messages",
+    ]
+    rows = [
+        [
+            r.n, r.n * r.n, r.peers, r.overlap, r.seed,
+            r.disconnections_requested, r.disconnections_executed,
+            r.converged, r.simulated_time, r.total_iterations,
+            r.mean_iterations_per_task, r.useless_fraction, r.residual,
+            r.recoveries, r.restarts_from_zero, r.replacements,
+            r.checkpoints_sent, r.data_messages,
+        ]
+        for r in runs
+    ]
+    return rows_to_csv(headers, rows)
+
+
+def figure7_to_csv(result: Figure7Result) -> str:
+    """The aggregated Figure-7 grid: one row per n, one column per level."""
+    headers = ["n", "size"] + [f"disc_{d}" for d in result.disconnections] + [
+        "slowdown"
+    ]
+    rows = []
+    for n in result.ns:
+        rows.append(
+            [n, n * n]
+            + [result.times.get((n, d)) for d in result.disconnections]
+            + [result.slowdown(n)]
+        )
+    return rows_to_csv(headers, rows)
+
+
+def ratio_to_csv(result: RatioResult) -> str:
+    headers = ["n", "size", "async_iters_per_task", "sync_sweeps",
+               "inflation", "no_message_fraction", "time"]
+    rows = [[n, n * n, ai, ss, infl, nomsg, t]
+            for (n, ai, ss, infl, nomsg, t) in result.rows]
+    return rows_to_csv(headers, rows)
+
+
+def write_csv(text: str, path: str | pathlib.Path) -> pathlib.Path:
+    """Write CSV text to ``path``, creating parent directories."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path

@@ -1,0 +1,18 @@
+"""``repro.local`` — a *real* (non-simulated) asynchronous execution engine.
+
+Runs the same :class:`~repro.p2p.task.Task` applications with genuine Python
+threads and thread-safe last-write-wins channels: one thread per task,
+nobody waits for anybody (asynchronous mode), or everybody barriers each
+superstep (synchronous mode, for comparison).
+
+This backend demonstrates the library's asynchronous semantics outside the
+simulator.  Per the repro-band note in DESIGN.md: CPython's GIL limits the
+*speedup* of multithreaded numeric code (NumPy kernels release the GIL, pure
+Python does not), so timing claims in the benchmarks use the simulator; this
+engine is about correctness of the chaotic execution on real concurrency.
+"""
+
+from repro.local.channels import LatestValueChannel, MailboxSet
+from repro.local.executor import ThreadedEngine, LocalResult
+
+__all__ = ["LatestValueChannel", "MailboxSet", "ThreadedEngine", "LocalResult"]

@@ -1,0 +1,122 @@
+"""Link delay models.
+
+A :class:`LinkModel` answers one question: how long does a message of *b*
+bytes take from host A to host B?  The standard decomposition is
+
+    ``delay = latency + bytes / bandwidth (+ jitter)``
+
+:class:`HeterogeneousLinkModel` reproduces the paper's mixed network (§7):
+each host belongs to a network class (100 Mbps or 1 Gbps Ethernet); a
+transfer is paced by the *slower* of the two endpoints' networks, which is
+how a shared-switch campus network behaves to first order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.host import Host
+from repro.util.rng import RngTree
+
+__all__ = ["LinkModel", "UniformLinkModel", "HeterogeneousLinkModel", "NetClass"]
+
+
+class LinkModel:
+    """Interface: subclasses implement :meth:`delay`."""
+
+    def delay(self, src: Host, dst: Host, nbytes: int) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class UniformLinkModel(LinkModel):
+    """Same latency/bandwidth for every pair — a homogeneous LAN.
+
+    Parameters
+    ----------
+    latency:
+        One-way latency in seconds.
+    bandwidth:
+        Bytes per second.
+    jitter:
+        Fractional uniform jitter on the total delay; 0 disables it.
+    rng:
+        Required when ``jitter > 0``.
+    """
+
+    latency: float = 200e-6
+    bandwidth: float = 125e6  # 1 Gbps in bytes/s
+    jitter: float = 0.0
+    rng: RngTree | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("latency must be >=0 and bandwidth >0")
+        if self.jitter and self.rng is None:
+            raise ValueError("jitter requires an RngTree")
+
+    def delay(self, src: Host, dst: Host, nbytes: int) -> float:
+        if src is dst:
+            return 1e-6  # loop-back
+        d = self.latency + nbytes / self.bandwidth
+        if self.jitter:
+            d *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        return d
+
+
+@dataclass(frozen=True)
+class NetClass:
+    """One network class a host can belong to."""
+
+    name: str
+    latency: float
+    bandwidth: float  # bytes/s
+
+
+#: The two Ethernet classes of the paper's testbed.
+FAST_ETHERNET = NetClass("ethernet-100M", latency=300e-6, bandwidth=12.5e6)
+GIGABIT_ETHERNET = NetClass("ethernet-1G", latency=150e-6, bandwidth=125e6)
+
+
+class HeterogeneousLinkModel(LinkModel):
+    """Hosts tagged with a network class; pairwise delay paced by the slower
+    endpoint.
+
+    Hosts whose ``tags`` include a known class name use that class; untagged
+    hosts default to ``default_class``.
+    """
+
+    def __init__(
+        self,
+        classes: dict[str, NetClass] | None = None,
+        default_class: NetClass = GIGABIT_ETHERNET,
+        jitter: float = 0.0,
+        rng: RngTree | None = None,
+    ):
+        self.classes = classes or {
+            FAST_ETHERNET.name: FAST_ETHERNET,
+            GIGABIT_ETHERNET.name: GIGABIT_ETHERNET,
+        }
+        self.default_class = default_class
+        self.jitter = float(jitter)
+        self.rng = rng
+        if self.jitter and rng is None:
+            raise ValueError("jitter requires an RngTree")
+
+    def class_of(self, host: Host) -> NetClass:
+        for tag in host.tags:
+            cls = self.classes.get(tag)
+            if cls is not None:
+                return cls
+        return self.default_class
+
+    def delay(self, src: Host, dst: Host, nbytes: int) -> float:
+        if src is dst:
+            return 1e-6
+        a, b = self.class_of(src), self.class_of(dst)
+        latency = a.latency + b.latency  # two first-hop traversals
+        bandwidth = min(a.bandwidth, b.bandwidth)
+        d = latency + nbytes / bandwidth
+        if self.jitter:
+            d *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        return d

@@ -1,0 +1,236 @@
+"""The message delivery engine.
+
+:meth:`Network.send` is fire-and-forget: it charges the link delay, then
+delivers into the destination endpoint's mailbox — *unless* the destination
+host is offline, the endpoint is gone, or a partition separates the pair, in
+which case the message is silently dropped and counted.  This is exactly the
+paper's §5.3 semantics: "the message is simply lost if the destination peer
+is not reachable".
+
+For request/response interactions the RMI layer (:mod:`repro.rmi`) builds
+invocation semantics on top of this primitive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.des import Simulator
+from repro.errors import NetworkError
+from repro.net.address import Address
+from repro.net.host import Host
+from repro.net.link import LinkModel, UniformLinkModel
+from repro.util.rng import RngTree
+from repro.util.serialization import measured_size
+
+__all__ = ["Message", "Network"]
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One unit of network transfer.
+
+    ``reliable`` marks TCP-like traffic (RMI calls and replies): exempt
+    from random in-transit loss — TCP retransmits — though still dropped by
+    dead hosts and partitions.  Unreliable messages model the asynchronous
+    oneway channel the paper's model tolerates losing (§5.3).
+    """
+
+    src: Address
+    dst: Address
+    payload: Any
+    size: int
+    sent_at: float
+    reliable: bool = False
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Message #{self.msg_id} {self.src}->{self.dst} {self.size}B>"
+
+
+class Network:
+    """Registry of hosts plus the delivery fabric between them.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    link_model:
+        Pairwise delay model; defaults to a homogeneous gigabit LAN.
+    loss_rate:
+        Probability that any message is lost in transit even between live
+        hosts (models the unreliable-channel assumption; default 0).
+    rng:
+        Required when ``loss_rate > 0``.
+    congestion:
+        Optional shared-medium model: a callable mapping the number of
+        *other* concurrently in-flight messages to a delay multiplier ≥ 1
+        (e.g. ``lambda n: 1 + 0.1 * n`` for a mildly contended switch).
+        Applied at send time to the whole transfer.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link_model: LinkModel | None = None,
+        loss_rate: float = 0.0,
+        rng: RngTree | None = None,
+        congestion=None,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if loss_rate > 0 and rng is None:
+            raise ValueError("loss_rate requires an RngTree")
+        self.sim = sim
+        self.link_model = link_model or UniformLinkModel()
+        self.loss_rate = loss_rate
+        self.rng = rng
+        self.congestion = congestion
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.hosts: dict[str, Host] = {}
+        self._partition: dict[str, int] | None = None
+        # statistics
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_dead = 0      # destination host offline / endpoint gone
+        self.dropped_partition = 0
+        self.dropped_loss = 0      # random in-transit loss
+        self.dropped_overflow = 0  # destination mailbox full
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+
+    # -- host management -----------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        if host.name in self.hosts:
+            raise NetworkError(f"duplicate host name {host.name!r}")
+        self.hosts[host.name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host {name!r}") from None
+
+    def new_host(self, name: str, **kwargs) -> Host:
+        return self.add_host(Host(self.sim, name, **kwargs))
+
+    # -- partitions ------------------------------------------------------------
+
+    def partition(self, groups: list[list[str]]) -> None:
+        """Split the network: hosts in different groups cannot communicate.
+
+        Hosts not named in any group form one extra implicit group.
+        """
+        mapping: dict[str, int] = {}
+        for gid, group in enumerate(groups):
+            for name in group:
+                if name in mapping:
+                    raise NetworkError(f"host {name!r} in two partition groups")
+                self.host(name)  # validate
+                mapping[name] = gid
+        self._partition = mapping
+
+    def heal_partition(self) -> None:
+        self._partition = None
+
+    def reachable(self, a: str, b: str) -> bool:
+        """True when no partition separates hosts ``a`` and ``b``."""
+        if self._partition is None:
+            return True
+        ga = self._partition.get(a, -1)
+        gb = self._partition.get(b, -1)
+        return ga == gb
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(
+        self,
+        src: Address,
+        dst: Address,
+        payload: Any,
+        size: int | None = None,
+        reliable: bool = False,
+    ) -> Message:
+        """Fire-and-forget send; returns the in-flight :class:`Message`.
+
+        Raises only on programmer error (unknown source host); every
+        *runtime* failure mode (dead peer, partition, loss) degrades to a
+        silent counted drop.
+        """
+        src_host = self.host(src.host)
+        if not src_host.online:
+            # A dead host cannot transmit: drop at the source.
+            msg = Message(src, dst, payload, size or 0, self.sim.now, reliable)
+            self.dropped_dead += 1
+            return msg
+        if size is None:
+            size = measured_size(payload)
+        msg = Message(src, dst, payload, int(size), self.sim.now, reliable)
+        self.sent += 1
+        self.bytes_sent += msg.size
+
+        dst_host = self.hosts.get(dst.host)
+        if dst_host is None:
+            self.dropped_dead += 1
+            return msg
+        delay = self.link_model.delay(src_host, dst_host, msg.size)
+        if self.congestion is not None:
+            factor = float(self.congestion(self.in_flight))
+            if factor < 1.0:
+                raise NetworkError("congestion multiplier must be >= 1")
+            delay *= factor
+        self.in_flight += 1  # counted from send: later sends see this one
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+        self.sim.process(self._deliver(msg, delay), label=f"net:{msg.msg_id}")
+        return msg
+
+    def _deliver(self, msg: Message, delay: float):
+        try:
+            yield self.sim.timeout(delay)
+        finally:
+            self.in_flight -= 1
+        if not self.reachable(msg.src.host, msg.dst.host):
+            self.dropped_partition += 1
+            return
+        if (
+            not msg.reliable
+            and self.loss_rate > 0
+            and self.rng.uniform() < self.loss_rate
+        ):
+            self.dropped_loss += 1
+            return
+        dst_host = self.hosts.get(msg.dst.host)
+        if dst_host is None or not dst_host.online:
+            self.dropped_dead += 1
+            return
+        ep = dst_host.endpoint(msg.dst.port)
+        if ep is None:
+            self.dropped_dead += 1
+            return
+        if ep.deliver(msg):
+            self.delivered += 1
+            self.bytes_delivered += msg.size
+        else:
+            self.dropped_overflow += 1
+
+    # -- stats -------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_dead": self.dropped_dead,
+            "dropped_partition": self.dropped_partition,
+            "dropped_loss": self.dropped_loss,
+            "dropped_overflow": self.dropped_overflow,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+        }

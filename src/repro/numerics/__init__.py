@@ -1,0 +1,60 @@
+"""``repro.numerics`` — the scientific substrate of the reproduction.
+
+Implements §6 of the paper and the theory it leans on:
+
+* :mod:`~repro.numerics.poisson` — 2-D Poisson discretization on a uniform
+  Cartesian grid with Dirichlet boundary conditions (5-point stencil →
+  ``A x = b`` with ``A`` a 5-diagonal M-matrix of size ``n² × n²``);
+* :mod:`~repro.numerics.matrix` — M-matrix and weak-regular-splitting
+  checks, iteration matrices, spectral radii (the asynchronous convergence
+  condition is ``ρ(|T|) < 1``);
+* :mod:`~repro.numerics.cg` — a from-scratch sparse Conjugate Gradient (the
+  paper's inner solver), with iteration/flop accounting used by the
+  simulator's compute-time model;
+* :mod:`~repro.numerics.splitting` — block decomposition with component
+  **overlapping**; exchanged data per neighbour is one grid line
+  (``n`` components) regardless of the overlap, as the paper requires;
+* :mod:`~repro.numerics.jacobi` — sequential reference solvers:
+  synchronous block-Jacobi and a chaotic (asynchronous) relaxation with
+  bounded delays, both used as ground truth by the runtime tests.
+"""
+
+from repro.numerics.poisson import Poisson2D, poisson_matrix, poisson_rhs
+from repro.numerics.matrix import (
+    is_m_matrix,
+    is_weak_regular_splitting,
+    jacobi_iteration_matrix,
+    spectral_radius,
+    async_convergence_radius,
+)
+from repro.numerics.cg import conjugate_gradient, CgResult
+from repro.numerics.splitting import BlockDecomposition, BlockInfo
+from repro.numerics.jacobi import (
+    block_jacobi,
+    chaotic_block_jacobi,
+    JacobiResult,
+)
+from repro.numerics.residual import relative_residual, update_distance
+from repro.numerics.theory import AsyncCertificate, async_certificate
+
+__all__ = [
+    "Poisson2D",
+    "poisson_matrix",
+    "poisson_rhs",
+    "is_m_matrix",
+    "is_weak_regular_splitting",
+    "jacobi_iteration_matrix",
+    "spectral_radius",
+    "async_convergence_radius",
+    "conjugate_gradient",
+    "CgResult",
+    "BlockDecomposition",
+    "BlockInfo",
+    "block_jacobi",
+    "chaotic_block_jacobi",
+    "JacobiResult",
+    "relative_residual",
+    "update_distance",
+    "AsyncCertificate",
+    "async_certificate",
+]

@@ -1,0 +1,29 @@
+"""Residual and update-distance measures used by convergence detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["relative_residual", "update_distance"]
+
+
+def relative_residual(A: sp.spmatrix, x: np.ndarray, b: np.ndarray) -> float:
+    """``||b - A x|| / ||b||`` (2-norm; absolute when ``b = 0``)."""
+    r = b - A @ x
+    b_norm = float(np.linalg.norm(b))
+    r_norm = float(np.linalg.norm(r))
+    return r_norm / b_norm if b_norm > 0 else r_norm
+
+
+def update_distance(x_new: np.ndarray, x_old: np.ndarray, relative: bool = True) -> float:
+    """Distance between consecutive iterates (max-norm).
+
+    This is the paper's practical convergence signal (§5.5): "the relative
+    error between the last two iterations".
+    """
+    diff = float(np.max(np.abs(x_new - x_old))) if x_new.size else 0.0
+    if not relative:
+        return diff
+    scale = float(np.max(np.abs(x_new))) if x_new.size else 0.0
+    return diff / scale if scale > 0 else diff

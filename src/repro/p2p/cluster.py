@@ -1,0 +1,185 @@
+"""Cluster assembly: wire a whole JaceP2P deployment onto a simulated testbed.
+
+:func:`build_cluster` creates the Super-Peers (linked together), boots one
+Daemon per daemon host, and installs the *reboot hook*: whenever a failed
+host reconnects, a fresh Daemon incarnation boots and re-registers — the
+paper's disconnection/reconnection cycle.  :func:`launch_application` starts
+a Spawner for an :class:`~repro.p2p.messages.AppSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.des import Simulator
+from repro.net.address import Address
+from repro.net.host import Host
+from repro.net.topology import Testbed, build_testbed
+from repro.p2p.config import P2PConfig
+from repro.p2p.daemon import Daemon
+from repro.p2p.messages import AppSpec
+from repro.p2p.spawner import Spawner
+from repro.p2p.superpeer import SuperPeer
+from repro.p2p.telemetry import Telemetry
+from repro.util.logging import EventLog
+from repro.util.rng import RngTree
+
+__all__ = ["Cluster", "build_cluster", "launch_application"]
+
+
+@dataclass
+class Cluster:
+    """Handle to a running deployment."""
+
+    sim: Simulator
+    testbed: Testbed
+    config: P2PConfig
+    rng: RngTree
+    log: EventLog
+    superpeers: list[SuperPeer] = field(default_factory=list)
+    #: current Daemon incarnation per daemon host name
+    daemons: dict[str, Daemon] = field(default_factory=dict)
+    spawners: list[Spawner] = field(default_factory=list)
+    telemetry: Telemetry = field(default_factory=Telemetry)
+    incarnations: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def network(self):
+        return self.testbed.network
+
+    @property
+    def superpeer_addresses(self) -> list[Address]:
+        return [sp.stub.address for sp in self.superpeers]
+
+    def registered_daemons(self) -> int:
+        return sum(len(sp.register) for sp in self.superpeers)
+
+    def boot_daemon(self, host: Host) -> Daemon:
+        """Boot a fresh Daemon incarnation on ``host``."""
+        incarnation = self.incarnations.get(host.name, 0) + 1
+        self.incarnations[host.name] = incarnation
+        daemon = Daemon(
+            network=self.network,
+            host=host,
+            daemon_id=f"{host.name}#{incarnation}",
+            superpeer_addresses=self.superpeer_addresses,
+            config=self.config,
+            rng=self.rng.child("daemon", host.name, incarnation),
+            log=self.log,
+            telemetry=self.telemetry,
+        )
+        self.daemons[host.name] = daemon
+        return daemon
+
+
+def build_cluster(
+    n_daemons: int,
+    n_superpeers: int = 3,
+    seed: int = 0,
+    config: P2PConfig | None = None,
+    homogeneous: bool = False,
+    sim: Simulator | None = None,
+    link_scale: float = 1.0,
+    loss_rate: float = 0.0,
+) -> Cluster:
+    """Create a full deployment mirroring the paper's §7 testbed shape.
+
+    ``loss_rate`` drops that fraction of ALL messages in transit — data,
+    heartbeats, checkpoints and control calls alike — exercising §5.3's
+    claim that the asynchronous model is message-loss tolerant.
+    """
+    config = config or P2PConfig()
+    rng = RngTree(seed)
+    sim = sim or Simulator()
+    testbed = build_testbed(
+        sim,
+        n_daemons=n_daemons,
+        n_superpeers=n_superpeers,
+        rng=rng.child("testbed") if (not homogeneous or loss_rate > 0) else None,
+        homogeneous=homogeneous,
+        link_scale=link_scale,
+        loss_rate=loss_rate,
+    )
+    log = EventLog()
+    cluster = Cluster(sim=sim, testbed=testbed, config=config, rng=rng, log=log)
+
+    for j, host in enumerate(testbed.superpeer_hosts):
+        cluster.superpeers.append(
+            SuperPeer(testbed.network, host, sp_id=f"SP{j}", config=config, log=log)
+        )
+    stubs = [sp.stub for sp in cluster.superpeers]
+    for sp in cluster.superpeers:
+        sp.link(stubs)
+
+    for host in testbed.daemon_hosts:
+        cluster.boot_daemon(host)
+        # the reconnection cycle: a recovered machine boots a NEW Daemon
+        host.on_recover(lambda h: cluster.boot_daemon(h))
+
+    return cluster
+
+
+def launch_application(
+    cluster: Cluster,
+    app: AppSpec,
+    stable_store=None,
+) -> Spawner:
+    """Start a Spawner for ``app`` on the testbed's spawner host.
+
+    Each application gets its own Spawner port so several can run
+    concurrently (§4.2).  The Spawner's maintenance loop retries
+    reservation until enough Daemons have bootstrapped, so launching at
+    t=0 is safe.  Pass a :class:`~repro.p2p.stable.StableStore` to enable
+    the §4.2 fault-tolerance extension (see :func:`resume_application`).
+    """
+    index = len(cluster.spawners)
+    config = cluster.config.with_(spawner_port=cluster.config.spawner_port + index)
+    spawner = Spawner(
+        network=cluster.network,
+        host=cluster.testbed.spawner_host,
+        app=app,
+        superpeer_addresses=cluster.superpeer_addresses,
+        config=config,
+        rng=cluster.rng.child("spawner", app.app_id),
+        log=cluster.log,
+        telemetry=cluster.telemetry if index == 0 else Telemetry(),
+        stable_store=stable_store,
+    )
+    cluster.spawners.append(spawner)
+    return spawner
+
+
+def resume_application(
+    cluster: Cluster,
+    app: AppSpec,
+    stable_store,
+) -> Spawner:
+    """Boot a replacement Spawner from stable storage (§4.2 future work).
+
+    Call after the spawner host has recovered from a failure: the new
+    Spawner binds the SAME port (the computing Daemons' spawner stub is
+    address-based, so their heartbeats reach the replacement unchanged),
+    adopts the persisted Application Register with its epochs, grants the
+    survivors a heartbeat grace period, and relearns the convergence array
+    from the heartbeat piggybacks.  Returns the new Spawner; drive the
+    simulation against ITS ``done`` event.
+    """
+    snapshot = stable_store.load(app.app_id)
+    if snapshot is None:
+        raise ValueError(f"no stable snapshot for application {app.app_id!r}")
+    config = cluster.config.with_(spawner_port=snapshot.spawner_port)
+    spawner = Spawner(
+        network=cluster.network,
+        host=cluster.testbed.spawner_host,
+        app=app,
+        superpeer_addresses=cluster.superpeer_addresses,
+        config=config,
+        rng=cluster.rng.child("spawner-resume", app.app_id,
+                              snapshot.register.version),
+        log=cluster.log,
+        telemetry=cluster.telemetry,
+        stable_store=stable_store,
+        resume_from=snapshot.register,
+    )
+    cluster.spawners.append(spawner)
+    return spawner

@@ -1,0 +1,101 @@
+"""Runtime configuration knobs.
+
+Defaults mirror the paper's experiment settings where the paper states them
+(checkpoint every 5 iterations, 20 backup-peers, ~20 s reconnect delay) and
+use conventional values elsewhere (heartbeat/timeout ratios, ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["P2PConfig"]
+
+
+@dataclass(frozen=True)
+class P2PConfig:
+    """All tunables of the JaceP2P runtime."""
+
+    # -- heartbeats / failure detection (§5.3)
+    heartbeat_period: float = 1.0
+    #: silence longer than this marks a peer dead (must exceed the period)
+    heartbeat_timeout: float = 3.5
+    #: how often Super-Peers / the Spawner scan for stale heartbeats
+    monitor_period: float = 1.0
+
+    # -- RMI
+    call_timeout: float = 5.0
+    superpeer_port: int = 4000
+    daemon_port: int = 4100
+    spawner_port: int = 4200
+
+    # -- bootstrap / reservation (§5.1–§5.2)
+    bootstrap_retry_delay: float = 1.0
+    reserve_retry_period: float = 1.5
+
+    # -- checkpointing (§5.4; paper experiment values)
+    checkpoint_frequency: int = 5
+    backup_count: int = 20
+    #: fraction of a guardian machine's RAM its BackupStore may occupy
+    #: (the paper's Daemons run on 256 MB-1 GB PCs while guarding up to 20
+    #: neighbours' checkpoints)
+    backup_ram_fraction: float = 0.25
+
+    # -- convergence detection (§5.5)
+    convergence_threshold: float = 1e-6
+    stability_window: int = 3
+    #: "immediate" halts the moment the array is all-stable (the paper's
+    #: protocol).  "dwell" implements the §8 improvement direction: hold
+    #: the all-stable state for ``verification_dwell`` simulated seconds —
+    #: long enough for any in-flight correction wave to flip a bit back —
+    #: before declaring global convergence.
+    detection_mode: str = "immediate"
+    verification_dwell: float = 0.1
+
+    # -- register dissemination (§5.2/§5.3; §8 lists "broadcast of register"
+    # -- as needing improvement)
+    #: "full" re-broadcasts the whole Application Register on every
+    #: membership change (the paper's behaviour); "delta" sends only the
+    #: changed slots, with an automatic full resync when a daemon detects
+    #: a version gap.
+    broadcast_mode: str = "full"
+
+    # -- execution pacing
+    #: floor on per-iteration duration: bounds the event rate of a task
+    #: spinning on stale data (real Jace iterations also have JVM overhead)
+    min_iteration_time: float = 0.005
+    #: fixed per-iteration runtime overhead in seconds (scheduling, JNI, ...)
+    iteration_overhead: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout <= self.heartbeat_period:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_period")
+        if self.heartbeat_period <= 0 or self.monitor_period <= 0:
+            raise ValueError("periods must be positive")
+        if self.call_timeout <= 0:
+            raise ValueError("call_timeout must be positive")
+        if self.checkpoint_frequency < 1:
+            raise ValueError("checkpoint_frequency must be >= 1")
+        if self.backup_count < 0:
+            raise ValueError("backup_count must be >= 0")
+        if not 0.0 < self.backup_ram_fraction <= 1.0:
+            raise ValueError("backup_ram_fraction must be in (0, 1]")
+        if self.convergence_threshold <= 0:
+            raise ValueError("convergence_threshold must be positive")
+        if self.stability_window < 1:
+            raise ValueError("stability_window must be >= 1")
+        if self.min_iteration_time < 0 or self.iteration_overhead < 0:
+            raise ValueError("pacing values must be >= 0")
+        if self.detection_mode not in ("immediate", "dwell"):
+            raise ValueError("detection_mode must be 'immediate' or 'dwell'")
+        if self.verification_dwell <= 0:
+            raise ValueError("verification_dwell must be positive")
+        if self.broadcast_mode not in ("full", "delta"):
+            raise ValueError("broadcast_mode must be 'full' or 'delta'")
+        ports = {self.superpeer_port, self.daemon_port, self.spawner_port}
+        if len(ports) != 3:
+            raise ValueError("entity ports must be distinct")
+
+    def with_(self, **changes) -> "P2PConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,540 @@
+"""The Daemon: a computing peer (paper §4.2, §5).
+
+A Daemon bootstraps into the Super-Peer network with a list of Super-Peer
+addresses (the only place raw addresses are used, §5.1), heartbeats whoever
+currently owns it (its Super-Peer while idle, the Spawner while computing),
+runs at most one Task at a time, stores Backup objects for its neighbour
+tasks, and exchanges asynchronous data messages directly with the other
+computing peers through their stubs.
+
+A Daemon lives and dies with its host: when the churn injector powers the
+machine off, every Daemon process is interrupted and the mailboxes vanish;
+on reconnection the cluster boots a *fresh* Daemon (new incarnation id, same
+address) that re-registers from scratch — any checkpoints the old
+incarnation guarded are gone, exactly the RAM-loss the paper's multi-backup
+strategy is designed to survive.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.checkpoint import Backup, BackupPolicy, BackupStore, choose_latest
+from repro.convergence import LocalConvergenceDetector
+from repro.des import Simulator
+from repro.errors import RemoteError, TaskError
+from repro.net.address import Address
+from repro.net.host import BASE_FLOPS, Host
+from repro.net.network import Network
+from repro.p2p.config import P2PConfig
+from repro.p2p.messages import ApplicationRegister
+from repro.p2p.superpeer import SUPERPEER_OBJECT
+from repro.p2p.task import Task, TaskContext
+from repro.p2p.telemetry import Telemetry
+from repro.rmi import RemoteObject, RmiRuntime, Stub, remote
+from repro.util.logging import EventLog
+from repro.util.rng import RngTree
+
+__all__ = ["Daemon", "TaskRunner", "DAEMON_OBJECT"]
+
+#: name under which every Daemon exports itself
+DAEMON_OBJECT = "daemon"
+
+
+class TaskRunner:
+    """Drives one Task's asynchronous iteration loop on a Daemon."""
+
+    def __init__(
+        self,
+        daemon: "Daemon",
+        app_id: str,
+        task: Task,
+        task_id: int,
+        num_tasks: int,
+        params: dict,
+        register: ApplicationRegister,
+        spawner_stub: Stub,
+        epoch: int,
+        restart: bool,
+        convergence_threshold: float,
+        stability_window: int,
+        telemetry: Telemetry | None,
+    ):
+        self.daemon = daemon
+        self.sim = daemon.sim
+        self.config = daemon.config
+        self.app_id = app_id
+        self.task = task
+        self.task_id = task_id
+        self.num_tasks = num_tasks
+        self.params = params
+        self.register = register
+        self.spawner_stub = spawner_stub
+        self.epoch = epoch
+        self.restart = restart
+        self.telemetry = telemetry
+        self.policy = BackupPolicy(
+            num_tasks=num_tasks,
+            count=self.config.backup_count,
+            frequency=self.config.checkpoint_frequency,
+        )
+        self.detector = LocalConvergenceDetector(
+            threshold=convergence_threshold, stability_window=stability_window
+        )
+        self.inbox: dict[int, Any] = {}
+        self.iteration = 0
+        self.save_count = 0
+        self.halted = False
+        self.iterations_done = 0
+        self.useless_done = 0
+
+    # -- runtime hooks (called by the Daemon's remote methods) ----------------
+
+    def deliver(self, src_task: int, iteration: int, payload: Any) -> None:
+        """Last-write-wins mailbox: only the freshest payload per neighbour
+        survives until the next iteration reads it (§4.1: peers exchange
+        *local results*, not queues of history)."""
+        self.inbox[src_task] = payload
+
+    def adopt_register(self, register: ApplicationRegister) -> None:
+        if register.version > self.register.version:
+            self.register = register
+
+    # -- the iteration loop ----------------------------------------------------
+
+    def run(self):
+        """Generator body of the compute process (spawned on the host)."""
+        try:
+            ctx = TaskContext(
+                app_id=self.app_id,
+                task_id=self.task_id,
+                num_tasks=self.num_tasks,
+                params=self.params,
+            )
+            self.task.setup(ctx)
+            if self.restart:
+                yield from self._recover()
+            else:
+                self.task.load_state(self.task.initial_state())
+                self.iteration = 0
+
+            host = self.daemon.host
+            while not self.halted:
+                inbox, self.inbox = self.inbox, {}
+                fresh = bool(inbox)
+                step = self.task.iterate(inbox)
+                duration = max(
+                    step.flops / (host.speed * BASE_FLOPS)
+                    + self.config.iteration_overhead,
+                    self.config.min_iteration_time,
+                )
+                yield self.sim.timeout(duration)
+                if self.halted:
+                    break
+                self.iteration += 1
+                self.iterations_done += 1
+                if not fresh and self.num_tasks > 1:
+                    self.useless_done += 1
+                if self.telemetry is not None:
+                    self.telemetry.record_iteration(
+                        self.task_id, fresh or self.num_tasks == 1
+                    )
+                self._send_outgoing(step.outgoing)
+                self._maybe_checkpoint()
+                self._report_convergence(step.local_distance)
+        finally:
+            self.daemon._runner_finished(self)
+
+    # -- recovery (§5.4, Fig. 6) --------------------------------------------------
+
+    def _recover(self):
+        """Reload the newest surviving Backup, or restart from scratch."""
+        runtime = self.daemon.runtime
+        calls = {}
+        for peer_task in self.policy.backup_peers(self.task_id):
+            stub = self.register.stub_of(peer_task)
+            if stub is None:
+                continue
+            calls[peer_task] = runtime.call(
+                stub, "backup_iteration", self.app_id, self.task_id,
+                timeout=self.config.call_timeout,
+            )
+        offers = yield from self.daemon._gather(calls)
+        best_peer = choose_latest(offers)
+        backup = None
+        if best_peer is not None:
+            stub = self.register.stub_of(best_peer)
+            if stub is not None:
+                try:
+                    backup = yield runtime.call(
+                        stub, "load_backup", self.app_id, self.task_id,
+                        timeout=self.config.call_timeout,
+                    )
+                except RemoteError:
+                    backup = None
+        if backup is not None:
+            self.task.load_state(backup.restore())
+            self.iteration = backup.iteration
+            from_scratch = False
+        else:
+            self.task.load_state(self.task.initial_state())
+            self.iteration = 0
+            from_scratch = True
+        self.save_count = self.iteration // self.policy.frequency
+        self.daemon._log(
+            "task_recovered",
+            task=self.task_id,
+            iteration=self.iteration,
+            from_scratch=from_scratch,
+        )
+        if self.telemetry is not None:
+            self.telemetry.record_recovery(
+                self.sim.now, self.task_id, self.iteration, from_scratch
+            )
+
+    # -- per-iteration duties --------------------------------------------------------
+
+    def _send_outgoing(self, outgoing: dict[int, Any]) -> None:
+        runtime = self.daemon.runtime
+        for dst_task, payload in outgoing.items():
+            if dst_task == self.task_id:
+                continue
+            stub = self.register.stub_of(dst_task)
+            if stub is None:
+                continue  # neighbour currently unassigned: message lost
+            runtime.oneway(
+                stub, "receive_data",
+                self.app_id, dst_task, self.task_id, self.iteration, payload,
+            )
+            if self.telemetry is not None:
+                self.telemetry.data_messages_sent += 1
+
+    def _maybe_checkpoint(self) -> None:
+        if not self.policy.checkpoint_due(self.iteration):
+            return
+        target_task = self.policy.target_for_save(self.task_id, self.save_count)
+        self.save_count += 1
+        if target_task is None:
+            return
+        stub = self.register.stub_of(target_task)
+        if stub is None:
+            return  # guardian unassigned right now: this checkpoint is skipped
+        backup = Backup(
+            task_id=self.task_id,
+            iteration=self.iteration,
+            state=self.task.dump_state(),
+            app_id=self.app_id,
+            created_at=self.sim.now,
+        )
+        self.daemon.runtime.oneway(stub, "store_backup", backup)
+        if self.telemetry is not None:
+            self.telemetry.checkpoints_sent += 1
+
+    def _report_convergence(self, distance: float) -> None:
+        flipped = self.detector.update(distance)
+        if not flipped:
+            return
+        self.daemon.runtime.oneway(
+            self.spawner_stub, "set_state",
+            self.app_id, self.task_id, self.epoch, self.detector.stable,
+        )
+        if self.telemetry is not None:
+            self.telemetry.convergence_messages += 1
+
+
+class Daemon(RemoteObject):
+    """One computing peer."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        daemon_id: str,
+        superpeer_addresses: list[Address],
+        config: P2PConfig,
+        rng: RngTree,
+        log: EventLog | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        if not superpeer_addresses:
+            raise ValueError("a Daemon needs at least one Super-Peer address")
+        self.sim: Simulator = network.sim
+        self.network = network
+        self.host = host
+        self.daemon_id = daemon_id
+        self.superpeer_addresses = list(superpeer_addresses)
+        self.config = config
+        self.rng = rng
+        self.log = log
+        self.telemetry = telemetry
+        self.backup_store = BackupStore(
+            max_bytes=host.ram_mb * 1024 * 1024 * config.backup_ram_fraction
+        )
+        #: final solution fragments of halted apps (kept for collection)
+        self.final_fragments: dict[str, Any] = {}
+        self.runner: TaskRunner | None = None
+        self._runner_proc = None
+        self._resyncing = False
+        self.sp_stub: Stub | None = None
+        self.registered = False
+        self.runtime = RmiRuntime(
+            network, host, config.daemon_port, name=daemon_id, log=log,
+            call_timeout=config.call_timeout,
+        )
+        self.stub = self.runtime.serve(self, DAEMON_OBJECT)
+        host.spawn(self._life(), label=f"{daemon_id}:life")
+
+    # -- bootstrap + heartbeats (§5.1, §5.3) ----------------------------------
+
+    def _life(self):
+        """Forever: bootstrap when unregistered and idle; heartbeat the
+        current owner (Super-Peer while idle, Spawner while computing)."""
+        while True:
+            if self.runner is not None:
+                # the heartbeat piggybacks the current local-stability bit:
+                # set_state flips are oneway and may be lost, so this
+                # periodic refresh keeps the Spawner's array eventually
+                # consistent even on a lossy network (§5.3 + §5.5)
+                self.runtime.oneway(
+                    self.runner.spawner_stub, "heartbeat_task",
+                    self.runner.app_id, self.runner.task_id,
+                    self.runner.epoch, self.daemon_id,
+                    self.runner.detector.stable,
+                )
+                yield self.sim.timeout(self.config.heartbeat_period)
+                continue
+            if not self.registered:
+                yield from self._bootstrap()
+                continue
+            try:
+                known = yield self.runtime.call(
+                    self.sp_stub, "heartbeat", self.daemon_id,
+                    timeout=min(self.config.call_timeout, self.config.heartbeat_period),
+                )
+            except RemoteError:
+                # Super-Peer down: locate another one (§5.3)
+                self._log("daemon_superpeer_lost", superpeer=str(self.sp_stub))
+                self.registered = False
+                self.sp_stub = None
+                continue
+            if not known and self.runner is None:
+                # evicted (or the Super-Peer rebooted): re-register
+                self.registered = False
+            yield self.sim.timeout(self.config.heartbeat_period)
+
+    def _bootstrap(self):
+        """Try Super-Peer addresses in random order until one accepts us."""
+        addresses = self.rng.child("bootstrap", self.host.fail_count).shuffled(
+            self.superpeer_addresses
+        )
+        for addr in addresses:
+            if self.runner is not None:
+                return  # got a task while bootstrapping: stop
+            candidate = Stub(SUPERPEER_OBJECT, addr)
+            try:
+                ok = yield self.runtime.call(
+                    candidate, "register_daemon", self.daemon_id, self.stub,
+                    timeout=self.config.call_timeout,
+                )
+            except RemoteError:
+                continue
+            if self.runner is not None:
+                # assigned a task while this registration was in flight:
+                # immediately take ourselves back out of the idle pool
+                if ok:
+                    self.runtime.oneway(candidate, "unregister_daemon", self.daemon_id)
+                return
+            if ok:
+                self.sp_stub = candidate
+                self.registered = True
+                self._log("daemon_registered", superpeer=str(addr))
+                return
+        yield self.sim.timeout(self.config.bootstrap_retry_delay)
+
+    # -- remote interface ---------------------------------------------------------
+
+    @remote
+    def assign_task(
+        self,
+        app_id: str,
+        task_factory,
+        task_id: int,
+        num_tasks: int,
+        params: dict,
+        register: ApplicationRegister,
+        spawner_stub: Stub,
+        epoch: int,
+        restart: bool,
+        convergence_threshold: float,
+        stability_window: int,
+    ) -> bool:
+        """Start computing a task (§5.2).  Raises TaskError when busy —
+        "a Daemon can only run a single Task at a given time" (§4.2)."""
+        if self.runner is not None:
+            raise TaskError(f"{self.daemon_id} is already running a task")
+        task = task_factory()
+        if not isinstance(task, Task):
+            raise TaskError("task_factory must produce a repro.p2p.Task")
+        if self.registered and self.sp_stub is not None:
+            # The reservation already removed us from the reserving
+            # Super-Peer, but a racing bootstrap/heartbeat may have
+            # re-registered us elsewhere in the meantime: leave explicitly.
+            self.runtime.oneway(self.sp_stub, "unregister_daemon", self.daemon_id)
+        self.registered = False  # no longer owned by a Super-Peer
+        self.sp_stub = None
+        self.runner = TaskRunner(
+            daemon=self,
+            app_id=app_id,
+            task=task,
+            task_id=task_id,
+            num_tasks=num_tasks,
+            params=params,
+            register=register,
+            spawner_stub=spawner_stub,
+            epoch=epoch,
+            restart=restart,
+            convergence_threshold=convergence_threshold,
+            stability_window=stability_window,
+            telemetry=self.telemetry,
+        )
+        self._runner_proc = self.host.spawn(
+            self.runner.run(), label=f"{self.daemon_id}:task{task_id}"
+        )
+        self._log("task_assigned", app=app_id, task=task_id, epoch=epoch,
+                  restart=restart)
+        return True
+
+    @remote
+    def update_register(self, register: ApplicationRegister) -> bool:
+        """Adopt a newer Application Register broadcast by the Spawner
+        ("the recipient of all the messages ... is automatically updated",
+        §5.3)."""
+        if self.runner is None:
+            return False
+        if register.app_id != self.runner.app_id:
+            return False
+        self.runner.adopt_register(register)
+        return True
+
+    @remote
+    def update_register_delta(self, delta) -> bool:
+        """Apply an incremental register update (§8 broadcast improvement).
+
+        Applies cleanly only when we are exactly at the delta's base
+        version; on a gap (a missed update) we pull a full snapshot from
+        the Spawner instead of guessing."""
+        runner = self.runner
+        if runner is None or delta.app_id != runner.app_id:
+            return False
+        current = runner.register.version
+        if current >= delta.to_version:
+            return True  # already at (or past) this update
+        if current == delta.from_version:
+            by_id = {slot.task_id: slot for slot in delta.changes}
+            for i, slot in enumerate(runner.register.slots):
+                if slot.task_id in by_id:
+                    runner.register.slots[i] = by_id[slot.task_id]
+            runner.register.version = delta.to_version
+            return True
+        # version gap: resync with a full snapshot
+        if not self._resyncing:
+            self._resyncing = True
+            self.host.spawn(self._resync_register(runner),
+                            label=f"{self.daemon_id}:resync")
+        return False
+
+    def _resync_register(self, runner: TaskRunner):
+        try:
+            snapshot = yield self.runtime.call(
+                runner.spawner_stub, "fetch_register", runner.app_id,
+                timeout=self.config.call_timeout,
+            )
+        except RemoteError:
+            snapshot = None
+        finally:
+            self._resyncing = False
+        if snapshot is not None and self.runner is runner:
+            runner.adopt_register(snapshot)
+            self._log("daemon_register_resynced", version=snapshot.version)
+
+    @remote
+    def receive_data(
+        self, app_id: str, dst_task: int, src_task: int, iteration: int, payload: Any
+    ) -> None:
+        """Asynchronous dependency data from a neighbour task."""
+        runner = self.runner
+        if runner is None or runner.app_id != app_id or runner.task_id != dst_task:
+            return  # stale message for a task we no longer run: lost
+        runner.deliver(src_task, iteration, payload)
+
+    @remote
+    def store_backup(self, backup: Backup) -> bool:
+        """Guard a neighbour's checkpoint (§5.4)."""
+        return self.backup_store.save(backup)
+
+    @remote
+    def backup_iteration(self, app_id: str, task_id: int) -> int | None:
+        return self.backup_store.iteration_of(app_id, task_id)
+
+    @remote
+    def load_backup(self, app_id: str, task_id: int) -> Backup | None:
+        return self.backup_store.load(app_id, task_id)
+
+    @remote
+    def halt(self, app_id: str) -> bool:
+        """Stop computing (global convergence reached, §5.5)."""
+        if self.runner is not None and self.runner.app_id == app_id:
+            # keep the converged fragment so it can still be collected
+            # after the runner has wound down
+            self.final_fragments[app_id] = self.runner.task.solution_fragment()
+            self.runner.halted = True
+        self.backup_store.drop_app(app_id)
+        return True
+
+    @remote
+    def fetch_solution(self, app_id: str) -> Any:
+        """The owned fragment of the solution (collected by the harness)."""
+        if self.runner is not None and self.runner.app_id == app_id:
+            return self.runner.task.solution_fragment()
+        return self.final_fragments.get(app_id)
+
+    @remote
+    def ping(self) -> bool:
+        return True
+
+    # -- internals ---------------------------------------------------------------
+
+    def _runner_finished(self, runner: TaskRunner) -> None:
+        if self.runner is runner:
+            self.runner = None
+            self._runner_proc = None
+            # back to the idle pool: _life will re-bootstrap on its next turn
+
+    def _gather(self, calls: dict) -> Any:
+        """Await a dict of call events, mapping failures to None."""
+        results: dict = {}
+
+        def waiter(key, ev):
+            try:
+                value = yield ev
+            except Exception:
+                value = None
+            results[key] = value
+
+        procs = [
+            self.sim.process(waiter(k, ev), label=f"{self.daemon_id}:gather")
+            for k, ev in calls.items()
+        ]
+        if procs:
+            yield self.sim.all_of(procs)
+        return results
+
+    def _log(self, kind: str, **detail) -> None:
+        if self.log is not None:
+            self.log.emit(self.sim.now, self.daemon_id, kind, **detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "computing" if self.runner is not None else (
+            "idle" if self.registered else "bootstrapping"
+        )
+        return f"<Daemon {self.daemon_id} {state}>"

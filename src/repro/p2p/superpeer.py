@@ -1,0 +1,167 @@
+"""The Super-Peer: entry point and Daemon index (paper §5.1–§5.3).
+
+A Super-Peer keeps a **Register** of the RMI stubs of the idle Daemons
+connected to it, monitors their heartbeats with a timeout protocol, answers
+reservation requests from Spawners, and forwards unmet demand to the other
+Super-Peers it is linked to (the hybrid-topology forwarding of Fig. 2/4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.des import Simulator
+from repro.errors import RemoteError
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.p2p.config import P2PConfig
+from repro.rmi import RemoteObject, RmiRuntime, Stub, remote
+from repro.util.logging import EventLog
+
+__all__ = ["SuperPeer", "DaemonRecord"]
+
+#: name under which every Super-Peer exports itself
+SUPERPEER_OBJECT = "superpeer"
+
+
+@dataclass
+class DaemonRecord:
+    """One Register entry."""
+
+    daemon_id: str
+    stub: Stub
+    last_seen: float
+
+
+class SuperPeer(RemoteObject):
+    """One Super-Peer entity."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        sp_id: str,
+        config: P2PConfig,
+        log: EventLog | None = None,
+    ):
+        self.sim: Simulator = network.sim
+        self.network = network
+        self.host = host
+        self.sp_id = sp_id
+        self.config = config
+        self.log = log
+        self.register: dict[str, DaemonRecord] = {}
+        self.neighbour_stubs: list[Stub] = []
+        self.evictions = 0
+        self.forwarded_requests = 0
+        self.runtime = RmiRuntime(
+            network, host, config.superpeer_port, name=sp_id, log=log,
+            call_timeout=config.call_timeout,
+        )
+        self.stub = self.runtime.serve(self, SUPERPEER_OBJECT)
+        host.spawn(self._monitor(), label=f"{sp_id}:monitor")
+
+    # -- wiring ------------------------------------------------------------
+
+    def link(self, neighbours: list[Stub]) -> None:
+        """Connect this Super-Peer to the others (they "are linked
+        together", §5.1).  Self is filtered out defensively."""
+        self.neighbour_stubs = [s for s in neighbours if s.address != self.stub.address]
+
+    # -- remote interface ------------------------------------------------------
+
+    @remote
+    def register_daemon(self, daemon_id: str, stub: Stub) -> bool:
+        """A Daemon joins (bootstrap, §5.1) or re-joins after eviction."""
+        self.register[daemon_id] = DaemonRecord(daemon_id, stub, self.sim.now)
+        self._log("sp_register", daemon=daemon_id)
+        return True
+
+    @remote
+    def unregister_daemon(self, daemon_id: str) -> bool:
+        """Graceful departure (not used by failures — those time out)."""
+        removed = self.register.pop(daemon_id, None) is not None
+        if removed:
+            self._log("sp_unregister", daemon=daemon_id)
+        return removed
+
+    @remote
+    def heartbeat(self, daemon_id: str) -> bool:
+        """Periodic liveness signal; False tells the Daemon it is unknown
+        here (evicted or talking to a rebooted Super-Peer) and must
+        re-register."""
+        record = self.register.get(daemon_id)
+        if record is None:
+            return False
+        record.last_seen = self.sim.now
+        return True
+
+    @remote
+    def reserve_local(self, count: int) -> list[tuple[str, Stub]]:
+        """Hand over up to ``count`` registered Daemons (removing them from
+        the Register: reserved peers are "no longer registered to the
+        Super-Peers", §5.2)."""
+        if count <= 0:
+            return []
+        picked: list[tuple[str, Stub]] = []
+        for daemon_id in sorted(self.register)[:count]:
+            record = self.register.pop(daemon_id)
+            picked.append((record.daemon_id, record.stub))
+        if picked:
+            self._log("sp_reserve_local", count=len(picked))
+        return picked
+
+    @remote
+    def reserve(self, count: int, visited: tuple[str, ...] = ()):
+        """Reserve ``count`` Daemons, forwarding unmet demand to neighbour
+        Super-Peers (Fig. 2: SP1 reserves D3 on SP2).
+
+        ``visited`` carries the addresses of the Super-Peers already
+        consulted so a request never loops.  Returns a (possibly short)
+        list of ``(daemon_id, stub)`` pairs.
+        """
+        picked = self.reserve_local(count)
+        visited = tuple(visited) + (str(self.stub.address),)
+        for nb in self.neighbour_stubs:
+            if len(picked) >= count:
+                break
+            if str(nb.address) in visited:
+                continue  # already consulted on this request's path
+            need = count - len(picked)
+            self.forwarded_requests += 1
+            try:
+                extra = yield self.runtime.call(
+                    nb, "reserve", need, visited, timeout=self.config.call_timeout
+                )
+            except RemoteError:
+                continue  # that Super-Peer is down; try the next one
+            picked.extend(extra)
+            visited = visited + (str(nb.address),)
+        return picked
+
+    @remote
+    def registered_count(self) -> int:
+        return len(self.register)
+
+    @remote
+    def ping(self) -> bool:
+        return True
+
+    # -- heartbeat monitoring (the "timeout protocol", §5.3) --------------------
+
+    def _monitor(self):
+        while True:
+            yield self.sim.timeout(self.config.monitor_period)
+            deadline = self.sim.now - self.config.heartbeat_timeout
+            stale = [d for d, rec in self.register.items() if rec.last_seen < deadline]
+            for daemon_id in stale:
+                del self.register[daemon_id]
+                self.evictions += 1
+                self._log("sp_evict", daemon=daemon_id)
+
+    def _log(self, kind: str, **detail) -> None:
+        if self.log is not None:
+            self.log.emit(self.sim.now, self.sp_id, kind, **detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SuperPeer {self.sp_id} register={len(self.register)}>"

@@ -1,0 +1,113 @@
+"""The user-facing Task abstraction.
+
+A JaceP2P application is "a SPMD Java program which uses JaceP2P methods by
+extending the Task class" (§4.2).  The Python contract:
+
+* :meth:`Task.setup` builds the local sub-problem deterministically from the
+  application parameters and the task's index — every Daemon (including a
+  replacement after a failure) can reconstruct it;
+* :meth:`Task.iterate` performs **one asynchronous iteration** given the
+  freshest data received from each neighbour since the previous call, and
+  returns an :class:`IterationStep`: the estimated flop cost (charged as
+  simulated compute time), the outgoing messages, and the local update
+  distance (fed to the convergence detector);
+* :meth:`Task.dump_state` / :meth:`Task.load_state` give the runtime the
+  checkpointable state (the Backup payload, §5.4).
+
+The runtime — not the task — owns iteration counting, checkpoint scheduling,
+convergence messaging and data transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import TaskError
+
+__all__ = ["TaskContext", "IterationStep", "Task"]
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """Identity and parameters handed to a Task at setup time."""
+
+    app_id: str
+    task_id: int
+    num_tasks: int
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.task_id < self.num_tasks:
+            raise ValueError("task_id out of range")
+
+
+@dataclass
+class IterationStep:
+    """What one local iteration produced."""
+
+    #: estimated floating-point operations of this iteration (charged to the
+    #: host's simulated CPU)
+    flops: float
+    #: messages to neighbours: destination task id -> payload
+    outgoing: dict[int, Any] = field(default_factory=dict)
+    #: max-norm relative distance between successive local iterates
+    local_distance: float = float("inf")
+    #: free-form diagnostics (e.g. inner CG iterations)
+    info: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise ValueError("flops must be >= 0")
+        if self.local_distance < 0:
+            raise ValueError("local_distance must be >= 0")
+
+
+class Task:
+    """Base class for SPMD applications.  Subclass and override the hooks."""
+
+    ctx: TaskContext
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def setup(self, ctx: TaskContext) -> None:
+        """Build the local sub-problem.  Must be deterministic in ``ctx``."""
+        self.ctx = ctx
+
+    def initial_state(self) -> dict:
+        """The state a brand-new task starts from (iteration 0)."""
+        raise NotImplementedError
+
+    def load_state(self, state: dict) -> None:
+        """Adopt a (checkpointed or initial) state dict."""
+        raise NotImplementedError
+
+    def dump_state(self) -> dict:
+        """Snapshot the current state (becomes the Backup payload)."""
+        raise NotImplementedError
+
+    # -- iteration -----------------------------------------------------------
+
+    def iterate(self, inbox: dict[int, Any]) -> IterationStep:
+        """One asynchronous iteration.
+
+        ``inbox`` holds the freshest payload per source task received since
+        the last call (empty when nothing arrived — the task must still
+        iterate; whether that progresses is the paper's "useless
+        iteration" phenomenon).
+        """
+        raise NotImplementedError
+
+    # -- results ---------------------------------------------------------------
+
+    def solution_fragment(self) -> Any:
+        """The owned part of the global solution (collected at the end)."""
+        return None
+
+    # -- helpers -----------------------------------------------------------------
+
+    def require_setup(self) -> TaskContext:
+        ctx = getattr(self, "ctx", None)
+        if ctx is None:
+            raise TaskError(f"{type(self).__name__}.setup() was never called")
+        return ctx

@@ -1,0 +1,90 @@
+"""In-process measurement of a running application.
+
+The :class:`Telemetry` object is an *instrument*, not a protocol
+participant: entities write counters into it directly (outside the simulated
+network), the experiment harness reads them afterwards.  Nothing in the
+runtime's behaviour depends on it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Telemetry", "RecoveryRecord"]
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One task restart after a failure."""
+
+    time: float
+    task_id: int
+    resumed_iteration: int
+    from_scratch: bool
+
+
+@dataclass
+class Telemetry:
+    """Aggregated counters for one application run."""
+
+    #: completed iterations per task
+    iterations: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    #: iterations performed without any fresh neighbour data (paper §7:
+    #: "the next one will not make the computation progress")
+    useless_iterations: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    data_messages_sent: int = 0
+    checkpoints_sent: int = 0
+    recoveries: list[RecoveryRecord] = field(default_factory=list)
+    convergence_messages: int = 0
+    #: simulated time at which the Spawner declared global convergence
+    converged_at: float | None = None
+    #: simulated time at which the application was launched
+    launched_at: float = 0.0
+
+    # -- writers -------------------------------------------------------------
+
+    def record_iteration(self, task_id: int, fresh: bool) -> None:
+        self.iterations[task_id] += 1
+        if not fresh:
+            self.useless_iterations[task_id] += 1
+
+    def record_recovery(
+        self, time: float, task_id: int, resumed_iteration: int, from_scratch: bool
+    ) -> None:
+        self.recoveries.append(
+            RecoveryRecord(time, task_id, resumed_iteration, from_scratch)
+        )
+
+    # -- readers ----------------------------------------------------------------
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(self.iterations.values())
+
+    @property
+    def total_useless(self) -> int:
+        return sum(self.useless_iterations.values())
+
+    @property
+    def useless_fraction(self) -> float:
+        total = self.total_iterations
+        return self.total_useless / total if total else 0.0
+
+    @property
+    def max_task_iterations(self) -> int:
+        return max(self.iterations.values(), default=0)
+
+    @property
+    def mean_task_iterations(self) -> float:
+        return self.total_iterations / len(self.iterations) if self.iterations else 0.0
+
+    @property
+    def restarts_from_zero(self) -> int:
+        return sum(r.from_scratch for r in self.recoveries)
+
+    @property
+    def execution_time(self) -> float | None:
+        if self.converged_at is None:
+            return None
+        return self.converged_at - self.launched_at

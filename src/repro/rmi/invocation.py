@@ -1,0 +1,60 @@
+"""Remote-method marking and invocation message types."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.net.address import Address
+
+__all__ = ["remote", "is_remote", "CallMessage", "ReplyMessage", "OnewayMessage"]
+
+_REMOTE_ATTR = "__rmi_remote__"
+_call_ids = itertools.count()
+
+
+def remote(fn: Callable) -> Callable:
+    """Mark a method as remotely invocable.
+
+    Unmarked methods cannot be called through a stub — mirroring the RMI
+    discipline where only interface methods are exported, and preventing a
+    malformed message from invoking internals like ``fail()``.
+    """
+    setattr(fn, _REMOTE_ATTR, True)
+    return fn
+
+
+def is_remote(fn: Callable) -> bool:
+    return getattr(fn, _REMOTE_ATTR, False)
+
+
+@dataclass
+class CallMessage:
+    """A request expecting a reply."""
+
+    object_name: str
+    method: str
+    args: tuple
+    kwargs: dict
+    reply_to: Address
+    call_id: int = field(default_factory=lambda: next(_call_ids))
+
+
+@dataclass
+class ReplyMessage:
+    """The response to a :class:`CallMessage`."""
+
+    call_id: int
+    ok: bool
+    value: Any  # result when ok, exception otherwise
+
+
+@dataclass
+class OnewayMessage:
+    """Fire-and-forget invocation: no reply, errors logged server-side."""
+
+    object_name: str
+    method: str
+    args: tuple
+    kwargs: dict

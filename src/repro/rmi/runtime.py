@@ -1,0 +1,259 @@
+"""Server/client runtime for remote invocations.
+
+One :class:`RmiRuntime` per JaceP2P entity: it binds an endpoint on the
+entity's host, runs a dispatcher process (which dies with the host, like a
+JVM on a powered-off PC), serves exported objects, and issues outgoing calls.
+
+Failure semantics (these are what the JaceP2P protocols rely on):
+
+* call to a dead/unreachable peer → no reply → :class:`RemoteError` after
+  ``timeout`` simulated seconds;
+* oneway to a dead peer → silently lost (message-loss-tolerant channel);
+* handler raising → the exception travels back and fails the caller's event;
+* host dying mid-handler → no reply is ever sent → caller times out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.des import Simulator
+from repro.des.events import Event
+from repro.errors import NetworkError, RemoteError
+from repro.net.address import Address
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.rmi.invocation import CallMessage, OnewayMessage, ReplyMessage, is_remote
+from repro.rmi.stub import Stub
+from repro.util.logging import EventLog
+
+__all__ = ["RemoteObject", "RmiRuntime", "DEFAULT_CALL_TIMEOUT"]
+
+#: Simulated seconds an invocation waits for its reply before failing.
+DEFAULT_CALL_TIMEOUT = 10.0
+
+
+class RemoteObject:
+    """Base class for objects exported through RMI.
+
+    Subclasses mark exported methods with :func:`repro.rmi.remote`.  A method
+    may be a plain function (runs instantaneously at the server) or a
+    generator (runs as a process on the server's host and may ``yield``
+    simulation events — e.g. to charge compute time before answering).
+    """
+
+    def exported_methods(self) -> list[str]:
+        """Names of the methods callable through a stub (marked @remote)."""
+        out = []
+        for name in dir(self):
+            if name.startswith("_"):
+                continue
+            attr = getattr(type(self), name, None)
+            if callable(attr) and is_remote(attr):
+                out.append(name)
+        return out
+
+
+class RmiRuntime:
+    """Binds one endpoint and carries all RMI traffic for an entity."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        port: int,
+        name: str = "",
+        log: EventLog | None = None,
+        call_timeout: float = DEFAULT_CALL_TIMEOUT,
+    ):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.host = host
+        self.name = name or f"rmi@{host.name}:{port}"
+        self.endpoint = host.open_endpoint(port)
+        self.address = self.endpoint.address
+        self.log = log
+        self.call_timeout = call_timeout
+        self._objects: dict[str, RemoteObject] = {}
+        self._pending: dict[int, Event] = {}
+        self.calls_sent = 0
+        self.calls_served = 0
+        self.oneways_sent = 0
+        self.oneway_errors = 0
+        self._dispatcher = host.spawn(self._dispatch_loop(), label=f"{self.name}:dispatch")
+
+    # -- serving ------------------------------------------------------------
+
+    def serve(self, obj: RemoteObject, object_name: str) -> Stub:
+        """Export ``obj`` under ``object_name``; returns its stub."""
+        if object_name in self._objects:
+            raise NetworkError(f"object {object_name!r} already exported on {self.name}")
+        self._objects[object_name] = obj
+        return Stub(object_name, self.address)
+
+    def unserve(self, object_name: str) -> None:
+        self._objects.pop(object_name, None)
+
+    def stub_for(self, object_name: str) -> Stub:
+        if object_name not in self._objects:
+            raise NetworkError(f"object {object_name!r} not exported on {self.name}")
+        return Stub(object_name, self.address)
+
+    @property
+    def alive(self) -> bool:
+        return self.host.online and not self.endpoint.closed
+
+    # -- outgoing calls --------------------------------------------------------
+
+    def call(
+        self, stub: Stub, method: str, *args: Any, timeout: float | None = None, **kwargs: Any
+    ) -> Event:
+        """Invoke ``method`` on the remote object behind ``stub``.
+
+        Returns a DES event that fires with the result, or fails with
+        :class:`RemoteError` (peer unreachable / timed out) or with the
+        remote application exception.
+        """
+        result = self.sim.event(name=f"call:{stub.object_name}.{method}")
+        msg = CallMessage(stub.object_name, method, args, kwargs, reply_to=self.address)
+        self._pending[msg.call_id] = result
+        self.calls_sent += 1
+        # calls ride the TCP-like reliable channel (Java RMI semantics):
+        # they complete or fail with a connection error — never silently
+        # vanish mid-exchange on a healthy pair of hosts
+        self.network.send(self.address, stub.address, msg, reliable=True)
+        self.sim.process(
+            self._watchdog(msg.call_id, result, timeout or self.call_timeout),
+            label=f"{self.name}:watchdog",
+        )
+        return result
+
+    def oneway(
+        self,
+        stub: Stub,
+        method: str,
+        *args: Any,
+        reliable: bool = False,
+        **kwargs: Any,
+    ) -> None:
+        """Fire-and-forget invocation (the asynchronous data channel).
+
+        ``reliable=True`` rides the TCP-like channel: still no reply and
+        still lost if the peer is dead, but exempt from random in-transit
+        loss — for fire-and-forget *control* broadcasts whose permanent
+        loss would wedge a protocol (e.g. Application Register updates).
+        """
+        self.oneways_sent += 1
+        msg = OnewayMessage(stub.object_name, method, args, kwargs)
+        self.network.send(self.address, stub.address, msg, reliable=reliable)
+
+    def _watchdog(self, call_id: int, result: Event, timeout: float):
+        yield self.sim.timeout(timeout)
+        if not result.triggered:
+            self._pending.pop(call_id, None)
+            result.fail(RemoteError(f"call #{call_id} timed out after {timeout}s"))
+
+    # -- dispatcher -----------------------------------------------------------
+
+    def _dispatch_loop(self):
+        while True:
+            if self.endpoint.closed:
+                # The host died before this process was interrupted (e.g. a
+                # failure injected in the same timestep we booted): exit
+                # cleanly instead of recv()-ing on a dead mailbox.
+                return
+            netmsg = yield self.endpoint.recv()
+            payload = netmsg.payload
+            if isinstance(payload, ReplyMessage):
+                self._on_reply(payload)
+            elif isinstance(payload, CallMessage):
+                self._on_call(payload)
+            elif isinstance(payload, OnewayMessage):
+                self._on_oneway(payload)
+            elif self.log is not None:  # pragma: no cover - diagnostics
+                self.log.emit(self.sim.now, self.name, "rmi_unknown_message",
+                              type=type(payload).__name__)
+
+    def _on_reply(self, reply: ReplyMessage) -> None:
+        event = self._pending.pop(reply.call_id, None)
+        if event is None or event.triggered:
+            return  # late reply after timeout: drop
+        if reply.ok:
+            event.succeed(reply.value)
+        else:
+            exc = reply.value
+            if not isinstance(exc, BaseException):  # defensive
+                exc = RemoteError(f"malformed error reply: {exc!r}")
+            event.fail(exc)
+
+    def _resolve(self, object_name: str, method: str):
+        obj = self._objects.get(object_name)
+        if obj is None:
+            raise RemoteError(f"no object {object_name!r} exported at {self.address}")
+        fn = getattr(obj, method, None)
+        cls_fn = getattr(type(obj), method, None)
+        if fn is None or cls_fn is None or not is_remote(cls_fn):
+            raise RemoteError(f"{object_name}.{method} is not a remote method")
+        return fn
+
+    def _on_call(self, call: CallMessage) -> None:
+        try:
+            fn = self._resolve(call.object_name, call.method)
+            outcome = fn(*call.args, **call.kwargs)
+        except RemoteError as exc:
+            self._reply(call, ok=False, value=exc)
+            return
+        except Exception as exc:
+            self._reply(call, ok=False, value=exc)
+            return
+        if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+            # Generator handler: run as a process on this host.
+            self.host.spawn(self._run_generator_handler(call, outcome),
+                            label=f"{self.name}:{call.method}")
+        else:
+            self.calls_served += 1
+            self._reply(call, ok=True, value=outcome)
+
+    def _run_generator_handler(self, call: CallMessage, gen) -> Any:
+        try:
+            value = yield from gen
+        except Exception as exc:  # noqa: BLE001 - ship the error to the caller
+            self._reply(call, ok=False, value=exc)
+            return
+        self.calls_served += 1
+        self._reply(call, ok=True, value=value)
+
+    def _reply(self, call: CallMessage, ok: bool, value: Any) -> None:
+        if not self.host.online:
+            return  # died while handling: the caller will time out
+        self.network.send(
+            self.address, call.reply_to,
+            ReplyMessage(call.call_id, ok, value),
+            reliable=True,
+        )
+
+    def _on_oneway(self, msg: OnewayMessage) -> None:
+        try:
+            fn = self._resolve(msg.object_name, msg.method)
+            outcome = fn(*msg.args, **msg.kwargs)
+        except Exception as exc:  # noqa: BLE001 - oneway errors never propagate
+            self.oneway_errors += 1
+            if self.log is not None:
+                self.log.emit(self.sim.now, self.name, "rmi_oneway_error",
+                              method=msg.method, error=repr(exc))
+            return
+        if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+            self.host.spawn(self._run_oneway_generator(outcome, msg.method),
+                            label=f"{self.name}:{msg.method}")
+
+    def _run_oneway_generator(self, gen, method: str):
+        try:
+            yield from gen
+        except Exception as exc:  # noqa: BLE001
+            self.oneway_errors += 1
+            if self.log is not None:
+                self.log.emit(self.sim.now, self.name, "rmi_oneway_error",
+                              method=method, error=repr(exc))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RmiRuntime {self.name} at {self.address} objects={list(self._objects)}>"

@@ -1,0 +1,66 @@
+"""Client-side remote references.
+
+A :class:`Stub` is what JaceP2P registers, stores and passes around: an
+opaque, serializable handle containing "all the location data" of a remote
+object (§4.1).  Stubs are plain frozen dataclasses so they survive being
+shipped inside Register broadcasts and checkpoints.
+
+A stub is *not* bound to a runtime; any :class:`~repro.rmi.runtime.RmiRuntime`
+can invoke through it.  Convenience binding (``stub.bind(runtime)``) yields a
+:class:`BoundStub` whose attribute access produces callables, e.g.::
+
+    peer = stub.bind(my_runtime)
+    result = yield peer.call("get_iteration")
+    peer.oneway("receive_boundary", data)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.net.address import Address
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rmi.runtime import RmiRuntime
+
+__all__ = ["Stub", "BoundStub"]
+
+
+@dataclass(frozen=True, order=True)
+class Stub:
+    """Serializable remote reference: (object name, endpoint address)."""
+
+    object_name: str
+    address: Address
+
+    def __post_init__(self) -> None:
+        if not self.object_name:
+            raise ValueError("stub needs a non-empty object name")
+
+    def bind(self, runtime: "RmiRuntime") -> "BoundStub":
+        return BoundStub(self, runtime)
+
+    def __str__(self) -> str:
+        return f"{self.object_name}@{self.address}"
+
+
+class BoundStub:
+    """A stub paired with the local runtime that will carry its calls."""
+
+    __slots__ = ("stub", "runtime")
+
+    def __init__(self, stub: Stub, runtime: "RmiRuntime"):
+        self.stub = stub
+        self.runtime = runtime
+
+    def call(self, method: str, *args: Any, timeout: float | None = None, **kwargs: Any):
+        """Two-way invocation; returns a DES event (yield it)."""
+        return self.runtime.call(self.stub, method, *args, timeout=timeout, **kwargs)
+
+    def oneway(self, method: str, *args: Any, **kwargs: Any) -> None:
+        """Fire-and-forget invocation."""
+        self.runtime.oneway(self.stub, method, *args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BoundStub {self.stub}>"

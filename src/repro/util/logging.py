@@ -1,0 +1,85 @@
+"""Structured event logging for simulation runs.
+
+The runtime appends :class:`LogRecord` entries (simulated timestamp, entity,
+event kind, payload) to an :class:`EventLog`.  Tests assert protocol
+behaviour against the log; the experiment harness mines it for telemetry
+(useless iterations, detection delays, recovery counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["LogRecord", "EventLog"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured log entry."""
+
+    time: float
+    entity: str
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kv = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:12.4f}] {self.entity:<16} {self.kind:<24} {kv}"
+
+
+class EventLog:
+    """Append-only log with cheap filtering.
+
+    ``max_records`` bounds memory for very long runs; when exceeded the
+    oldest half is dropped (benchmarks only mine recent windows or counters,
+    which are kept exactly).
+    """
+
+    def __init__(self, max_records: int = 2_000_000):
+        self.records: list[LogRecord] = []
+        self.max_records = max_records
+        self.counters: dict[str, int] = {}
+        self._subscribers: list[Callable[[LogRecord], None]] = []
+        self.dropped = 0
+
+    def emit(self, time: float, entity: str, kind: str, **detail: Any) -> LogRecord:
+        rec = LogRecord(float(time), entity, kind, detail)
+        self.records.append(rec)
+        self.counters[kind] = self.counters.get(kind, 0) + 1
+        if len(self.records) > self.max_records:
+            drop = len(self.records) // 2
+            del self.records[:drop]
+            self.dropped += drop
+        for sub in self._subscribers:
+            sub(rec)
+        return rec
+
+    def subscribe(self, fn: Callable[[LogRecord], None]) -> None:
+        """Register a callback invoked on every emit (used by live probes)."""
+        self._subscribers.append(fn)
+
+    def count(self, kind: str) -> int:
+        """Exact number of records of ``kind`` emitted over the whole run."""
+        return self.counters.get(kind, 0)
+
+    def select(
+        self,
+        kind: str | None = None,
+        entity: str | None = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> list[LogRecord]:
+        return [
+            r
+            for r in self.records
+            if (kind is None or r.kind == kind)
+            and (entity is None or r.entity == entity)
+            and since <= r.time <= until
+        ]
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,97 @@
+"""Deterministic random-number management.
+
+Every stochastic decision in the library (host speeds, link latencies, churn
+schedules, the random Super-Peer pick during bootstrap, ...) draws from a
+:class:`RngTree`: a hierarchy of independent ``numpy.random.Generator``
+streams derived from one root seed.  Two runs with the same root seed make
+exactly the same decisions, which is what lets the benchmark harness replay
+the paper's experiments reproducibly.
+
+The derivation is stable: ``tree.child("churn")`` always yields the same
+stream for the same root seed, regardless of the order in which other
+children were created.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "RngTree"]
+
+
+def derive_seed(root_seed: int, *path: str | int) -> int:
+    """Derive a 63-bit child seed from ``root_seed`` and a path of labels.
+
+    Stable across processes and Python versions (uses SHA-256, not ``hash``).
+    """
+    h = hashlib.sha256()
+    h.update(str(int(root_seed)).encode())
+    for part in path:
+        h.update(b"/")
+        h.update(str(part).encode())
+    return int.from_bytes(h.digest()[:8], "little") & (2**63 - 1)
+
+
+class RngTree:
+    """A node in a deterministic tree of random generators.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for this node.
+    path:
+        Human-readable label path (used in ``repr`` and error messages).
+    """
+
+    __slots__ = ("seed", "path", "_gen")
+
+    def __init__(self, seed: int, path: tuple[str | int, ...] = ()):
+        self.seed = int(seed)
+        self.path = path
+        self._gen: np.random.Generator | None = None
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The ``numpy`` generator for this node (created lazily)."""
+        if self._gen is None:
+            self._gen = np.random.default_rng(self.seed)
+        return self._gen
+
+    def child(self, *labels: str | int) -> "RngTree":
+        """Return the child node reached by ``labels``.
+
+        Children are independent of the parent's own draw state: deriving a
+        child never consumes randomness from this node.
+        """
+        if not labels:
+            raise ValueError("child() requires at least one label")
+        return RngTree(derive_seed(self.seed, *labels), self.path + tuple(labels))
+
+    # -- convenience draws -------------------------------------------------
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return float(self.generator.uniform(low, high))
+
+    def integers(self, low: int, high: int) -> int:
+        """Draw one integer in ``[low, high)``."""
+        return int(self.generator.integers(low, high))
+
+    def exponential(self, mean: float) -> float:
+        return float(self.generator.exponential(mean))
+
+    def choice(self, seq):
+        """Pick one element of a non-empty sequence."""
+        if len(seq) == 0:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[int(self.generator.integers(0, len(seq)))]
+
+    def shuffled(self, seq):
+        """Return a new list with the elements of ``seq`` shuffled."""
+        out = list(seq)
+        self.generator.shuffle(out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngTree(seed={self.seed}, path={'/'.join(map(str, self.path))!r})"

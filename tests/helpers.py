@@ -1,0 +1,93 @@
+"""Shared test utilities: a deterministic toy Task and run drivers."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.p2p import AppSpec, IterationStep, Task, TaskContext
+
+
+class GeometricTask(Task):
+    """A toy SPMD task with fully predictable behaviour.
+
+    State is one scalar decaying geometrically: ``x ← rate · x`` from 1.0.
+    The (absolute) update distance after iteration k is ``(1-rate)·rate^k``,
+    so with threshold t the task goes quiet after a known iteration count.
+    Each iteration sends its value to the next task (ring) so messaging and
+    freshness accounting are exercised.
+    """
+
+    def setup(self, ctx: TaskContext) -> None:
+        super().setup(ctx)
+        self.rate = float(ctx.params.get("rate", 0.5))
+        self.flops = float(ctx.params.get("flops", 1e6))
+        self.x = 1.0
+        self.seen: dict[int, Any] = {}
+
+    def initial_state(self) -> dict:
+        return {"x": 1.0}
+
+    def load_state(self, state: dict) -> None:
+        self.x = float(state["x"])
+
+    def dump_state(self) -> dict:
+        return {"x": self.x}
+
+    def iterate(self, inbox: dict[int, Any]) -> IterationStep:
+        self.seen.update(inbox)
+        old = self.x
+        self.x *= self.rate
+        nxt = (self.ctx.task_id + 1) % self.ctx.num_tasks
+        outgoing = {nxt: np.array([self.x])} if self.ctx.num_tasks > 1 else {}
+        return IterationStep(
+            flops=self.flops,
+            outgoing=outgoing,
+            local_distance=abs(old - self.x),
+        )
+
+    def solution_fragment(self):
+        return (self.ctx.task_id, self.x)
+
+
+def make_geometric_app(
+    app_id: str = "geo",
+    num_tasks: int = 3,
+    rate: float = 0.5,
+    flops: float = 1e6,
+    threshold: float = 1e-4,
+    window: int = 2,
+) -> AppSpec:
+    return AppSpec(
+        app_id=app_id,
+        task_factory=GeometricTask,
+        num_tasks=num_tasks,
+        params={"rate": rate, "flops": flops},
+        convergence_threshold=threshold,
+        stability_window=window,
+    )
+
+
+def run_until_done(cluster, spawner, horizon: float = 1000.0) -> bool:
+    """Drive the simulation until the app converges or the horizon passes."""
+    sim = cluster.sim
+    sim.run(until=sim.any_of([spawner.done, sim.timeout(horizon)]))
+    return spawner.done.triggered
+
+
+def collect_solution(cluster, spawner) -> dict:
+    proc = cluster.sim.process(spawner.collect_solution())
+    cluster.sim.run(until=proc)
+    return proc.value
+
+
+def assemble_strip_solution(fragments: dict, size: int) -> np.ndarray:
+    """Stitch (offset, values) fragments into a global vector."""
+    x = np.full(size, np.nan)
+    for frag in fragments.values():
+        if frag is None:
+            continue
+        offset, values = frag
+        x[offset : offset + len(values)] = values
+    return x

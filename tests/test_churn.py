@@ -1,0 +1,168 @@
+"""Tests for churn models and the failure injector."""
+
+import pytest
+
+from repro.churn import (
+    ChurnEvent,
+    ChurnInjector,
+    NoChurn,
+    PaperChurn,
+    PoissonChurn,
+    TraceChurn,
+)
+from repro.des import Simulator
+from repro.net import Network
+from repro.util.logging import EventLog
+from repro.util.rng import RngTree
+
+
+# --------------------------------------------------------------------- models
+
+
+def test_churn_event_validation():
+    with pytest.raises(ValueError):
+        ChurnEvent(-1.0, 5.0)
+    with pytest.raises(ValueError):
+        ChurnEvent(1.0, 0.0)
+
+
+def test_no_churn_is_empty():
+    assert NoChurn().schedule(RngTree(0), 100.0) == []
+
+
+def test_paper_churn_count_and_window():
+    model = PaperChurn(n_disconnections=20, reconnect_delay=20.0)
+    events = model.schedule(RngTree(1), horizon=1000.0)
+    assert len(events) == 20
+    assert all(e.duration == 20.0 for e in events)
+    assert all(50.0 <= e.time <= 850.0 for e in events)  # default window
+    assert events == sorted(events)
+    assert all(e.host is None for e in events)  # victims picked at fire time
+
+
+def test_paper_churn_deterministic_per_seed():
+    m = PaperChurn(5)
+    assert m.schedule(RngTree(3), 100.0) == m.schedule(RngTree(3), 100.0)
+    assert m.schedule(RngTree(3), 100.0) != m.schedule(RngTree(4), 100.0)
+
+
+def test_paper_churn_validation():
+    with pytest.raises(ValueError):
+        PaperChurn(-1)
+    with pytest.raises(ValueError):
+        PaperChurn(1, reconnect_delay=0)
+    with pytest.raises(ValueError):
+        PaperChurn(1, start_fraction=0.9, end_fraction=0.5)
+    with pytest.raises(ValueError):
+        PaperChurn(1).schedule(RngTree(0), horizon=0.0)
+
+
+def test_poisson_churn_rate_scaling():
+    slow = PoissonChurn(rate=0.01).schedule(RngTree(2), 10_000.0)
+    fast = PoissonChurn(rate=0.1).schedule(RngTree(2), 10_000.0)
+    assert len(fast) > len(slow) > 0
+    assert all(0 <= e.time < 10_000 for e in fast)
+    assert PoissonChurn(rate=0.0).schedule(RngTree(2), 100.0) == []
+
+
+def test_poisson_churn_validation():
+    with pytest.raises(ValueError):
+        PoissonChurn(rate=-1)
+    with pytest.raises(ValueError):
+        PoissonChurn(rate=1, mean_downtime=0)
+
+
+def test_trace_churn_replays_sorted():
+    events = (ChurnEvent(5.0, 2.0, "h1"), ChurnEvent(1.0, 2.0, "h0"))
+    out = TraceChurn(events).schedule(RngTree(0), 100.0)
+    assert [e.time for e in out] == [1.0, 5.0]
+    assert out[0].host == "h0"
+
+
+# ------------------------------------------------------------------- injector
+
+
+def make_pool(n=4):
+    sim = Simulator()
+    net = Network(sim)
+    hosts = [net.new_host(f"h{i}") for i in range(n)]
+    return sim, hosts
+
+
+def test_injector_executes_schedule_and_recovers():
+    sim, hosts = make_pool(3)
+    log = EventLog()
+    trace = TraceChurn((ChurnEvent(2.0, 5.0, "h1"),))
+    inj = ChurnInjector(sim, hosts, trace, RngTree(0), horizon=100.0, log=log)
+    sim.run(until=3.0)
+    assert not hosts[1].online
+    sim.run(until=8.0)
+    assert hosts[1].online
+    assert inj.disconnections == 1
+    assert log.count("disconnect") == 1 and log.count("reconnect") == 1
+
+
+def test_injector_random_victims_are_alive_hosts():
+    sim, hosts = make_pool(5)
+    inj = ChurnInjector(
+        sim, hosts, PaperChurn(10, reconnect_delay=1.0), RngTree(7), horizon=100.0
+    )
+    sim.run()
+    assert inj.disconnections == 10
+    assert all(e.host in {h.name for h in hosts} for e in inj.executed)
+    # after the run everyone reconnected
+    assert all(h.online for h in hosts)
+
+
+def test_injector_skips_when_no_victim_available():
+    sim, hosts = make_pool(1)
+    # one host, two overlapping disconnections: the second finds nobody alive
+    trace = TraceChurn((ChurnEvent(1.0, 10.0, None), ChurnEvent(2.0, 10.0, None)))
+    inj = ChurnInjector(sim, hosts, trace, RngTree(0), horizon=50.0)
+    sim.run()
+    assert inj.disconnections == 1
+    assert inj.skipped == 1
+
+
+def test_injector_trace_victim_down_is_skipped():
+    sim, hosts = make_pool(2)
+    trace = TraceChurn(
+        (ChurnEvent(1.0, 10.0, "h0"), ChurnEvent(2.0, 1.0, "h0"))  # h0 already down
+    )
+    inj = ChurnInjector(sim, hosts, trace, RngTree(0), horizon=50.0)
+    sim.run()
+    assert inj.disconnections == 1
+    assert inj.skipped == 1
+
+
+def test_injector_executed_trace_is_replayable():
+    sim, hosts = make_pool(4)
+    inj = ChurnInjector(
+        sim, hosts, PaperChurn(5, reconnect_delay=2.0), RngTree(9), horizon=50.0
+    )
+    sim.run()
+    trace = TraceChurn(tuple(inj.executed))
+
+    sim2, hosts2 = make_pool(4)
+    inj2 = ChurnInjector(sim2, hosts2, trace, RngTree(123), horizon=50.0)
+    sim2.run()
+    assert [e.host for e in inj2.executed] == [e.host for e in inj.executed]
+    assert [e.time for e in inj2.executed] == [e.time for e in inj.executed]
+
+
+def test_injector_requires_hosts():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ChurnInjector(sim, [], NoChurn(), RngTree(0), horizon=10.0)
+
+
+def test_injector_determinism():
+    names = []
+    for _ in range(2):
+        sim, hosts = make_pool(6)
+        inj = ChurnInjector(
+            sim, hosts, PaperChurn(8, reconnect_delay=1.0), RngTree(5), horizon=200.0
+        )
+        sim.run()
+        names.append([e.host for e in inj.executed])
+    assert names[0] == names[1]

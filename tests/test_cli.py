@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nope"])
+
+
+def test_cli_run_prints_table(capsys):
+    rc = main(["run", "--n", "24", "--peers", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "single run" in out
+    assert "iters/task" in out
+
+
+def test_cli_run_with_churn(capsys):
+    rc = main(["run", "--n", "24", "--peers", "3", "--disconnections", "1",
+               "--seed", "2"])
+    assert rc == 0
+    assert "disc" in capsys.readouterr().out
+
+
+def test_cli_ablation_overlap(capsys):
+    rc = main(["ablation", "overlap"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "A3" in out and "overlap" in out
+
+
+def test_cli_ablation_bootstrap(capsys):
+    rc = main(["ablation", "bootstrap"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "A4" in out
+
+
+def test_cli_run_csv_export(tmp_path, capsys):
+    target = tmp_path / "run.csv"
+    rc = main(["run", "--n", "24", "--peers", "3", "--csv", str(target)])
+    assert rc == 0
+    text = target.read_text()
+    assert text.startswith("n,size,peers")
+    assert "24,576,3" in text
+
+
+def test_cli_timeline(capsys):
+    rc = main(["timeline", "--n", "40", "--peers", "4",
+               "--disconnections", "1", "--seed", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "spawner_assigned" in out
+    assert "legend" in out.lower() or "A=assigned" in out
+    assert "converged: True" in out

@@ -1,0 +1,121 @@
+"""Tests for local and global convergence detection."""
+
+import pytest
+
+from repro.convergence import GlobalConvergenceTracker, LocalConvergenceDetector
+
+
+# ---------------------------------------------------------------------- local
+
+
+def test_local_detector_requires_stability_window():
+    det = LocalConvergenceDetector(threshold=1e-3, stability_window=3)
+    assert not det.update(1e-5)
+    assert not det.update(1e-5)
+    assert not det.stable
+    flipped = det.update(1e-5)  # third consecutive quiet iteration
+    assert flipped and det.stable
+
+
+def test_local_detector_noise_resets_streak():
+    det = LocalConvergenceDetector(threshold=1e-3, stability_window=3)
+    det.update(1e-5)
+    det.update(1e-5)
+    det.update(0.5)  # noise
+    det.update(1e-5)
+    det.update(1e-5)
+    assert not det.stable
+    det.update(1e-5)
+    assert det.stable
+
+
+def test_local_detector_flips_back_to_unstable():
+    det = LocalConvergenceDetector(threshold=1e-3, stability_window=2)
+    det.update(0.0)
+    det.update(0.0)
+    assert det.stable
+    flipped = det.update(1.0)  # fresh neighbour data arrived, big update
+    assert flipped and not det.stable
+    assert det.flips == 2
+
+
+def test_local_detector_flip_signal_only_on_change():
+    det = LocalConvergenceDetector(threshold=1e-3, stability_window=1)
+    assert det.update(0.0)       # -> stable: flip
+    assert not det.update(0.0)   # still stable: no flip
+    assert det.update(1.0)       # -> unstable: flip
+    assert not det.update(1.0)   # still unstable: no flip
+
+
+def test_local_detector_boundary_is_strict():
+    det = LocalConvergenceDetector(threshold=1e-3, stability_window=1)
+    det.update(1e-3)  # equal to threshold: NOT quiet
+    assert not det.stable
+
+
+def test_local_detector_reset():
+    det = LocalConvergenceDetector(threshold=1e-3, stability_window=1)
+    det.update(0.0)
+    assert det.stable
+    det.reset()
+    assert not det.stable and det.quiet_streak == 0
+
+
+def test_local_detector_validation():
+    with pytest.raises(ValueError):
+        LocalConvergenceDetector(threshold=0.0)
+    with pytest.raises(ValueError):
+        LocalConvergenceDetector(threshold=1e-3, stability_window=0)
+    det = LocalConvergenceDetector(threshold=1e-3)
+    with pytest.raises(ValueError):
+        det.update(-1.0)
+
+
+# --------------------------------------------------------------------- global
+
+
+def test_global_tracker_converges_when_all_stable():
+    tracker = GlobalConvergenceTracker(3)
+    assert not tracker.converged
+    tracker.set_state(0, True)
+    tracker.set_state(1, True)
+    assert not tracker.converged
+    assert tracker.stable_count == 2
+    tracker.set_state(2, True)
+    assert tracker.converged
+
+
+def test_global_tracker_unstable_message_clears_bit():
+    tracker = GlobalConvergenceTracker(2)
+    tracker.set_state(0, True)
+    tracker.set_state(1, True)
+    tracker.set_state(0, False)
+    assert not tracker.converged
+    assert tracker.messages_received == 3
+
+
+def test_global_tracker_reset_on_reassignment():
+    tracker = GlobalConvergenceTracker(2)
+    tracker.set_state(0, True)
+    tracker.set_state(1, True)
+    tracker.reset_task(1)  # daemon running task 1 failed and was replaced
+    assert not tracker.converged
+    assert tracker.resets_on_reassign == 1
+    tracker.reset_task(1)  # already cleared: counted once only
+    assert tracker.resets_on_reassign == 1
+
+
+def test_global_tracker_validation():
+    with pytest.raises(ValueError):
+        GlobalConvergenceTracker(0)
+    tracker = GlobalConvergenceTracker(2)
+    with pytest.raises(ValueError):
+        tracker.set_state(2, True)
+    with pytest.raises(ValueError):
+        tracker.reset_task(-1)
+
+
+def test_global_tracker_single_task():
+    tracker = GlobalConvergenceTracker(1)
+    tracker.set_state(0, True)
+    assert tracker.converged

@@ -1,0 +1,222 @@
+"""Advanced DES kernel scenarios: nested processes, canceled waiters,
+interrupt interplay with stores and resources."""
+
+import pytest
+
+from repro.des import Interrupt, PriorityStore, Resource, Simulator, Store
+from repro.errors import SimulationError
+
+
+def test_deep_process_chain_joins_in_order():
+    sim = Simulator()
+    order = []
+
+    def leaf(env, k):
+        yield env.timeout(0.1 * (k + 1))
+        order.append(f"leaf{k}")
+        return k
+
+    def mid(env, k):
+        value = yield env.process(leaf(env, k))
+        order.append(f"mid{k}")
+        return value * 10
+
+    def root(env):
+        results = []
+        for k in range(3):
+            results.append((yield env.process(mid(env, k))))
+        order.append("root")
+        return results
+
+    p = sim.process(root(sim))
+    sim.run()
+    assert p.value == [0, 10, 20]
+    assert order == ["leaf0", "mid0", "leaf1", "mid1", "leaf2", "mid2", "root"]
+
+
+def test_interrupted_store_getter_does_not_steal_items():
+    """A consumer interrupted while blocked in get() must not consume the
+    next put: the item goes to the surviving consumer."""
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(env, name):
+        try:
+            item = yield store.get()
+            got.append((name, item))
+        except Interrupt:
+            got.append((name, "interrupted"))
+
+    first = sim.process(consumer(sim, "first"))
+    sim.process(consumer(sim, "second"))
+
+    def script(env):
+        yield env.timeout(1)
+        first.interrupt()
+        yield env.timeout(1)
+        store.put("prize")
+
+    sim.process(script(sim))
+    sim.run()
+    assert ("first", "interrupted") in got
+    assert ("second", "prize") in got
+
+
+def test_interrupted_resource_waiter_releases_queue_position():
+    sim = Simulator()
+    res = Resource(sim, slots=1)
+    winners = []
+
+    def holder(env):
+        yield res.acquire()
+        yield env.timeout(5)
+        res.release()
+
+    def waiter(env, name):
+        try:
+            yield res.acquire()
+            winners.append(name)
+            res.release()
+        except Interrupt:
+            pass
+
+    sim.process(holder(sim))
+    doomed = sim.process(waiter(sim, "doomed"))
+    sim.process(waiter(sim, "patient"))
+
+    def killer(env):
+        yield env.timeout(1)
+        doomed.interrupt()
+
+    sim.process(killer(sim))
+    sim.run()
+    assert winners == ["patient"]
+
+
+def test_priority_store_interleaved_with_blocking_getter():
+    sim = Simulator()
+    store = PriorityStore(sim)
+    got = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item[1])
+
+    def producer(env):
+        yield env.timeout(1)
+        store.put((5, "low"))
+        yield env.timeout(1)
+        store.put((1, "high"))
+        store.put((3, "mid"))
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    # first item delivered immediately on arrival (blocked getter), the
+    # remaining two ordered by priority
+    assert got == ["low", "high", "mid"]
+
+
+def test_event_processed_then_yielded_by_two_processes():
+    sim = Simulator()
+    gate = sim.event()
+    seen = []
+
+    def early(env):
+        value = yield gate
+        seen.append(("early", value, env.now))
+
+    def late(env):
+        yield env.timeout(5)
+        value = yield gate  # long processed by now
+        seen.append(("late", value, env.now))
+
+    sim.process(early(sim))
+    sim.process(late(sim))
+    gate.succeed("open")
+    sim.run()
+    assert ("early", "open", 0.0) in seen
+    assert ("late", "open", 5.0) in seen
+
+
+def test_failed_event_rethrows_for_late_yielder():
+    sim = Simulator(strict=False)
+    gate = sim.event()
+    gate.fail(ValueError("poisoned"))
+
+    def late(env):
+        yield env.timeout(2)
+        try:
+            yield gate
+        except ValueError as exc:
+            return f"caught:{exc}"
+
+    p = sim.process(late(sim))
+    sim.run()
+    assert p.value == "caught:poisoned"
+
+
+def test_interrupting_a_just_finished_process_is_an_error():
+    """FIFO at equal times: the sleeper's t=5 wake-up processes before the
+    killer's t=5 turn, so by the time the killer acts its victim is dead —
+    and interrupting a dead process is a programming error, loudly."""
+    sim = Simulator(strict=False)
+    outcome = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(5)
+            outcome.append("woke")
+        except Interrupt:
+            outcome.append("interrupted")
+
+    victim = sim.process(sleeper(sim))
+
+    def killer(env):
+        yield env.timeout(5)  # exactly when the sleeper wakes
+        victim.interrupt()
+
+    killer_proc = sim.process(killer(sim))
+    sim.run()
+    assert outcome == ["woke"]
+    assert not killer_proc.ok
+    assert isinstance(killer_proc.value, SimulationError)
+
+
+def test_interrupt_beats_wakeup_when_scheduled_first():
+    """The URGENT priority: an interrupt issued strictly before the
+    victim's wake-up instant always wins, even by a hair."""
+    sim = Simulator()
+    outcome = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(5)
+            outcome.append("woke")
+        except Interrupt:
+            outcome.append("interrupted")
+
+    victim = sim.process(sleeper(sim))
+
+    def killer(env):
+        yield env.timeout(5 - 1e-12)
+        victim.interrupt()
+
+    sim.process(killer(sim))
+    sim.run()
+    assert outcome == ["interrupted"]
+
+
+def test_two_simulators_do_not_share_events():
+    sim1, sim2 = Simulator(), Simulator()
+    foreign = sim2.timeout(1)
+
+    def proc(env):
+        yield foreign
+
+    p = sim1.process(proc(sim1))
+    sim1.run(until=1.0)
+    assert not p.ok
+    assert isinstance(p.value, SimulationError)

@@ -1,0 +1,59 @@
+"""Tests for DES measurement probes and periodic samplers."""
+
+import math
+
+import pytest
+
+from repro.des import PeriodicSampler, Probe, Simulator
+
+
+def test_probe_records_series_and_stats():
+    p = Probe("queue-depth")
+    for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]:
+        p.observe(t, v)
+    assert len(p) == 3
+    assert p.times == [0.0, 1.0, 2.0]
+    assert p.last() == 2.0
+    assert p.stats.mean == pytest.approx(2.0)
+    d = p.as_dict()
+    assert d["name"] == "queue-depth" and d["count"] == 3
+
+
+def test_probe_summary_only_mode():
+    p = Probe("big", keep_series=False)
+    for i in range(1000):
+        p.observe(float(i), float(i))
+    assert p.times == [] and p.values == []
+    assert p.stats.count == 1000
+    assert p.last() is None
+
+
+def test_periodic_sampler_samples_on_schedule():
+    sim = Simulator()
+    counter = {"v": 0}
+
+    def tick(env):
+        while True:
+            yield env.timeout(1.0)
+            counter["v"] += 1
+
+    sim.process(tick(sim))
+    sampler = PeriodicSampler(sim, lambda: counter["v"], period=2.0,
+                              name="ticks", horizon=10.0)
+    sim.run(until=20.0)
+    # samples at t=0,2,4,6,8 (horizon 10 exclusive of the t=10 sample)
+    assert sampler.probe.times == [0.0, 2.0, 4.0, 6.0, 8.0]
+    assert sampler.probe.values == [0.0, 1.0, 3.0, 5.0, 7.0]
+
+
+def test_periodic_sampler_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicSampler(sim, lambda: 0.0, period=0.0)
+
+
+def test_sampler_runs_forever_without_horizon():
+    sim = Simulator()
+    sampler = PeriodicSampler(sim, lambda: 1.0, period=1.0)
+    sim.run(until=100.5)
+    assert sampler.probe.stats.count == 101

@@ -1,0 +1,77 @@
+"""Tests for the convergence-detection modes (§5.5 + the §8 hardening).
+
+The paper's protocol halts the moment the Spawner's array is all-stable
+("immediate").  That is vulnerable to a real race this reproduction hits
+when message latency exceeds the quiet window: a correction wave still in
+flight lets every peer look stable simultaneously, and the application
+halts on a wrong answer.  ``detection_mode="dwell"`` (our implementation of
+the §8 improvement direction) holds the all-stable state for a dwell period
+before finishing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_poisson_app
+from repro.experiments.config import EXPERIMENT_CONFIG, EXPERIMENT_LINK_SCALE
+from repro.numerics import Poisson2D
+from repro.p2p import P2PConfig, build_cluster, launch_application
+
+
+def run_mode(mode: str, seed: int = 0, window: int = 3):
+    cfg = EXPERIMENT_CONFIG.with_(
+        stability_window=window, detection_mode=mode, verification_dwell=0.05
+    )
+    cluster = build_cluster(
+        n_daemons=12, n_superpeers=3, seed=seed, config=cfg,
+        link_scale=EXPERIMENT_LINK_SCALE,
+    )
+    app = make_poisson_app("p", n=48, num_tasks=8, overlap=3)
+    spawner = launch_application(cluster, app)
+    sim = cluster.sim
+    sim.run(until=sim.any_of([spawner.done, sim.timeout(300.0)]))
+    assert spawner.done.triggered
+    proc = sim.process(spawner.collect_solution())
+    sim.run(until=proc)
+    x = np.zeros(48 * 48)
+    for frag in proc.value.values():
+        offset, values = frag
+        x[offset : offset + len(values)] = values
+    return spawner, Poisson2D.manufactured(48).residual_norm(x)
+
+
+def test_immediate_mode_can_halt_prematurely_under_latency():
+    """The documented weakness: with a quiet window shorter than the
+    message RTT, the paper's immediate protocol accepts a wrong answer."""
+    spawner, residual = run_mode("immediate", seed=0)
+    assert residual > 1e-1  # garbage: halted mid-transient
+    assert spawner.dwell_aborts == 0
+
+
+def test_dwell_mode_rides_out_the_transient():
+    spawner, residual = run_mode("dwell", seed=0)
+    assert residual < 1e-3  # correct answer
+    assert spawner.dwell_aborts >= 1  # it caught in-flight corrections
+
+
+def test_dwell_mode_costs_bounded_extra_time():
+    s_imm, _ = run_mode("immediate", seed=2)
+    s_dwell, res = run_mode("dwell", seed=2)
+    assert res < 1e-3
+    # the dwell only delays completion by roughly (aborts+1) * dwell periods
+    extra = s_dwell.execution_time - s_imm.execution_time
+    assert extra < 1.0
+
+
+def test_large_window_makes_immediate_mode_sound():
+    """The alternative mitigation: a stability window outlasting the RTT
+    (what EXPERIMENT_CONFIG uses for the headline benchmarks)."""
+    spawner, residual = run_mode("immediate", seed=0, window=48)
+    assert residual < 1e-3
+
+
+def test_detection_mode_validation():
+    with pytest.raises(ValueError):
+        P2PConfig(detection_mode="sometimes")
+    with pytest.raises(ValueError):
+        P2PConfig(verification_dwell=0.0)

@@ -1,0 +1,79 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.driver import RunResult
+from repro.experiments.export import (
+    figure7_to_csv,
+    ratio_to_csv,
+    rows_to_csv,
+    runs_to_csv,
+    write_csv,
+)
+from repro.experiments.figure7 import Figure7Result
+from repro.experiments.ratio import RatioResult
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def make_run(**overrides):
+    base = dict(
+        n=48, peers=8, disconnections_requested=2, disconnections_executed=2,
+        seed=0, overlap=3, converged=True, simulated_time=1.5,
+        total_iterations=1000, mean_iterations_per_task=125.0,
+        useless_fraction=0.2, residual=1e-5, recoveries=2,
+        restarts_from_zero=0, replacements=2, checkpoints_sent=100,
+        data_messages=5000,
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+def test_rows_to_csv_quoting_and_none():
+    text = rows_to_csv(["a", "b"], [[1, None], ["x,y", 2.5]])
+    rows = parse(text)
+    assert rows[0] == ["a", "b"]
+    assert rows[1] == ["1", ""]
+    assert rows[2] == ["x,y", "2.5"]
+
+
+def test_runs_to_csv_roundtrip():
+    text = runs_to_csv([make_run(), make_run(n=64, converged=False,
+                                             simulated_time=None,
+                                             residual=None)])
+    rows = parse(text)
+    assert len(rows) == 3
+    header = rows[0]
+    assert header[0] == "n" and "residual" in header
+    assert rows[1][header.index("size")] == "2304"
+    assert rows[2][header.index("converged")] == "False"
+    assert rows[2][header.index("simulated_time")] == ""
+
+
+def test_figure7_to_csv():
+    result = Figure7Result(ns=(40, 64), disconnections=(0, 2), peers=8,
+                           repeats=1)
+    result.times = {(40, 0): 1.0, (40, 2): 2.0, (64, 0): 1.5, (64, 2): 2.4}
+    rows = parse(figure7_to_csv(result))
+    assert rows[0] == ["n", "size", "disc_0", "disc_2", "slowdown"]
+    assert rows[1] == ["40", "1600", "1.0", "2.0", "2.0"]
+    assert float(rows[2][4]) == pytest.approx(1.6)
+
+
+def test_ratio_to_csv():
+    result = RatioResult(ns=(40,), peers=8)
+    result.rows.append((40, 1700.0, 100, 17.0, 0.16, 0.97))
+    rows = parse(ratio_to_csv(result))
+    assert rows[0][2] == "async_iters_per_task"
+    assert rows[1] == ["40", "1600", "1700.0", "100", "17.0", "0.16", "0.97"]
+
+
+def test_write_csv_creates_dirs(tmp_path):
+    target = tmp_path / "a" / "b" / "out.csv"
+    path = write_csv("x,y\n1,2\n", target)
+    assert path.read_text() == "x,y\n1,2\n"

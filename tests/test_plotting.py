@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.figure7 import Figure7Result
+from repro.experiments.plotting import ascii_chart, figure7_chart
+
+
+def test_empty_chart():
+    assert "no data" in ascii_chart({})
+
+
+def test_single_series_extremes_land_on_grid_corners():
+    chart = ascii_chart({"s": [(0, 0), (10, 100)]}, width=20, height=8)
+    lines = [l for l in chart.splitlines() if "|" in l]
+    # max point: top row, right column; min point: bottom row, left column
+    assert lines[0].split("|")[1][19] == "o"
+    assert lines[-1].split("|")[1][0] == "o"
+
+
+def test_multiple_series_get_distinct_markers_and_legend():
+    chart = ascii_chart(
+        {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 4)]},
+        width=20, height=6,
+    )
+    assert "o=a" in chart and "x=b" in chart
+    assert "o" in chart and "x" in chart
+
+
+def test_axis_labels_and_title():
+    chart = ascii_chart({"s": [(5, 5), (15, 9)]}, width=24, height=6,
+                        title="T", x_label="size", y_label="time")
+    assert chart.splitlines()[0] == "T"
+    assert "time" in chart
+    assert "15" in chart and "5" in chart
+
+
+def test_chart_size_validation():
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(0, 0)]}, width=5, height=2)
+
+
+def test_figure7_chart_renders_every_series():
+    result = Figure7Result(ns=(40, 64), disconnections=(0, 4), peers=8,
+                           repeats=1)
+    result.times = {(40, 0): 1.0, (64, 0): 1.5, (40, 4): 2.0, (64, 4): 2.8}
+    chart = figure7_chart(result)
+    assert "0 disc" in chart and "4 disc" in chart
+    assert "Fig. 7" in chart
+
+
+def test_figure7_chart_skips_missing_cells():
+    result = Figure7Result(ns=(40,), disconnections=(0, 4), peers=8, repeats=1)
+    result.times = {(40, 0): 1.0}  # the churn cell never converged
+    chart = figure7_chart(result)
+    assert "0 disc" in chart and "4 disc" not in chart

@@ -1,0 +1,43 @@
+"""Unit tests for the Telemetry instrument."""
+
+from repro.p2p import Telemetry
+from repro.p2p.telemetry import RecoveryRecord
+
+
+def test_iteration_accounting():
+    t = Telemetry()
+    t.record_iteration(0, fresh=True)
+    t.record_iteration(0, fresh=False)
+    t.record_iteration(1, fresh=False)
+    assert t.total_iterations == 3
+    assert t.total_useless == 2
+    assert t.useless_fraction == 2 / 3
+    assert t.iterations[0] == 2 and t.useless_iterations[1] == 1
+    assert t.max_task_iterations == 2
+    assert t.mean_task_iterations == 1.5
+
+
+def test_empty_telemetry_is_well_defined():
+    t = Telemetry()
+    assert t.total_iterations == 0
+    assert t.useless_fraction == 0.0
+    assert t.max_task_iterations == 0
+    assert t.mean_task_iterations == 0.0
+    assert t.execution_time is None
+    assert t.restarts_from_zero == 0
+
+
+def test_recovery_records():
+    t = Telemetry()
+    t.record_recovery(1.5, task_id=2, resumed_iteration=10, from_scratch=False)
+    t.record_recovery(3.0, task_id=2, resumed_iteration=0, from_scratch=True)
+    assert len(t.recoveries) == 2
+    assert t.restarts_from_zero == 1
+    assert t.recoveries[0] == RecoveryRecord(1.5, 2, 10, False)
+
+
+def test_execution_time():
+    t = Telemetry()
+    t.launched_at = 2.0
+    t.converged_at = 7.5
+    assert t.execution_time == 5.5

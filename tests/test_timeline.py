@@ -1,0 +1,70 @@
+"""Tests for the timeline/report utilities."""
+
+from repro.experiments.timeline import (
+    activity_chart,
+    event_timeline,
+    run_summary,
+)
+from repro.p2p import P2PConfig, build_cluster, launch_application
+from repro.util.logging import EventLog
+
+from tests.helpers import make_geometric_app, run_until_done
+
+FAST = P2PConfig(
+    heartbeat_period=0.5, heartbeat_timeout=2.0, monitor_period=0.5,
+    call_timeout=2.0, bootstrap_retry_delay=0.5, reserve_retry_period=0.5,
+    backup_count=2, min_iteration_time=0.01,
+)
+
+
+def test_empty_log_handled():
+    log = EventLog()
+    assert "no protocol events" in event_timeline(log)
+    assert "nothing to chart" in activity_chart(log)
+    summary = run_summary(log)
+    assert summary["assignments"] == 0 and not summary["converged"]
+
+
+def test_timeline_of_a_real_run_with_failure():
+    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=37, config=FAST)
+    app = make_geometric_app(num_tasks=3, rate=0.999, threshold=1e-9, flops=3e6)
+    spawner = launch_application(cluster, app)
+    sim = cluster.sim
+    sim.run(until=2.0)
+    victim_name = spawner.register.slot(0).daemon_id.rsplit("#", 1)[0]
+    victim = next(h for h in cluster.testbed.daemon_hosts
+                  if h.name == victim_name)
+    victim.fail(cause="test")
+    assert run_until_done(cluster, spawner, horizon=300.0)
+
+    narrative = event_timeline(cluster.log)
+    assert "spawner_assigned" in narrative
+    assert "spawner_failure_detected" in narrative
+    assert "task_recovered" in narrative
+    assert "spawner_converged" in narrative
+    # chronological
+    times = [float(line.split("]")[0].strip("[ ")) for line in narrative.splitlines()]
+    assert times == sorted(times)
+
+    chart = activity_chart(cluster.log, width=60)
+    assert "A" in chart and "!" in chart and "R" in chart
+    assert "legend" not in chart  # legend text itself, marks included
+    assert victim_name in chart
+
+    summary = run_summary(cluster.log)
+    assert summary["converged"]
+    assert summary["failures_detected"] == 1
+    assert summary["recoveries"] == 1
+    assert summary["assignments"] == 4  # 3 initial + 1 replacement
+
+
+def test_chart_respects_width_and_until():
+    log = EventLog()
+    log.emit(0.5, "spawner:x", "spawner_assigned", daemon="d1")
+    log.emit(9.5, "churn", "disconnect", host="d1")
+    chart = activity_chart(log, width=20, until=10.0)
+    row = next(l for l in chart.splitlines() if l.startswith("d1"))
+    cells = row.split("|")[1]
+    assert len(cells) == 20
+    assert cells[1] == "A"   # t=0.5 of 10s -> bin 1
+    assert cells[19] == "x"  # t=9.5 -> last bin
