@@ -1,11 +1,19 @@
 #!/usr/bin/env python
-"""Churn resilience: the paper's §7 experiment, narrated.
+"""Churn resilience: the paper's §7 experiment, narrated and traced.
 
 Runs the Poisson application on 6 peers while the churn injector randomly
 powers machines off mid-computation (reconnecting them a second later, the
 scaled stand-in for the paper's ≈20 s), then prints the full failure
-timeline: disconnections, Spawner detections, replacements, and Backup
-recoveries — ending with proof that the answer is still right.
+timeline: disconnections, Spawner detections, Super-Peer evictions,
+replacements, and Backup recoveries — ending with proof that the answer is
+still right.
+
+The whole run is recorded on a :class:`repro.obs.Tracer`: every layer
+(kernel, network, RMI, protocol) emits structured events, the script dumps
+them as JSON Lines next to this file, and closes with the
+:class:`repro.obs.RunReport` summary.  Churn here hits spare Daemons too
+(not only computing peers), so the trace shows the Super-Peer eviction
+path alongside Backup recovery.
 
 Run:  python examples/churn_resilience.py
 """
@@ -20,16 +28,21 @@ from repro.experiments.config import (
     optimal_overlap,
 )
 from repro.numerics import Poisson2D
+from repro.obs import Tracer, build_run_report, write_jsonl
 from repro.p2p import build_cluster, launch_application
 from repro.util.rng import RngTree
 
 
 def main() -> None:
-    n, peers, disconnections, seed = 48, 6, 3, 7
+    # seed 4 deterministically fells both computing peers (-> Backup
+    # recovery) and spare Daemons (-> Super-Peer eviction)
+    n, peers, disconnections, seed = 48, 6, 4, 4
 
+    tracer = Tracer()
     cluster = build_cluster(
         n_daemons=12, n_superpeers=3, seed=seed,
         config=EXPERIMENT_CONFIG, link_scale=EXPERIMENT_LINK_SCALE,
+        tracer=tracer,
     )
     app = make_poisson_app(
         "churny", n=n, num_tasks=peers, overlap=optimal_overlap(n, peers),
@@ -43,10 +56,6 @@ def main() -> None:
         RngTree(seed).child("churn"),
         horizon=2.0,
         log=cluster.log,
-        victim_filter=lambda h: (
-            (d := cluster.daemons.get(h.name)) is not None
-            and d.runner is not None
-        ),
     )
 
     sim = cluster.sim
@@ -58,7 +67,7 @@ def main() -> None:
     print("failure timeline:")
     interesting = (
         "disconnect", "reconnect", "spawner_failure_detected",
-        "spawner_assigned", "task_recovered",
+        "sp_evict", "spawner_assigned", "task_recovered",
     )
     for record in cluster.log.records:
         if record.kind in interesting:
@@ -78,6 +87,17 @@ def main() -> None:
         x[offset : offset + len(values)] = values
     print(f"\nrelative residual after all that churn: "
           f"{Poisson2D.manufactured(n).residual_norm(x):.2e}")
+
+    path = "churn_resilience_trace.jsonl"
+    n_events = write_jsonl(tracer, path)
+    print(f"\nwrote {n_events} trace events to {path}")
+
+    report = build_run_report(
+        telemetry=cluster.telemetry, network=cluster.network, tracer=tracer,
+        spawner=spawner, superpeers=cluster.superpeers, app_id=app.app_id,
+    )
+    print()
+    print(report.to_text())
 
 
 if __name__ == "__main__":

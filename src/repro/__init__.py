@@ -20,6 +20,9 @@ The package layers, bottom-up:
 * :mod:`repro.baselines` — synchronous (BSP) and master-slave baselines.
 * :mod:`repro.experiments` — the harness that regenerates the paper's
   figure and claims.
+* :mod:`repro.obs` — cross-cutting observability: the structured trace
+  bus every layer emits into, the metrics registry behind ``Telemetry``,
+  and the JSONL / Chrome-trace / run-report exporters.
 
 Quickstart::
 

@@ -7,9 +7,14 @@ Usage::
     python -m repro.cli iterations
     python -m repro.cli syncasync --disconnections 3
     python -m repro.cli ablation {checkpoint,backup,overlap,bootstrap}
+    python -m repro.cli trace --disconnections 3 --out run.jsonl
+    python -m repro.cli report --disconnections 3
 
 Every subcommand prints the same table its benchmark counterpart records
-under ``benchmarks/results/``.
+under ``benchmarks/results/``.  ``trace`` and ``report`` run a single
+traced execution through :mod:`repro.obs`: ``trace`` dumps the structured
+event stream (JSONL and/or Chrome ``trace_event`` JSON for
+``chrome://tracing`` / Perfetto), ``report`` renders the run report.
 """
 
 from __future__ import annotations
@@ -78,6 +83,29 @@ def build_parser() -> argparse.ArgumentParser:
     ab = sub.add_parser("ablation", help="design-choice ablations A1-A4")
     ab.add_argument("which", choices=["checkpoint", "backup", "overlap",
                                       "bootstrap"])
+
+    trace = sub.add_parser(
+        "trace", help="one traced run: dump the structured event stream"
+    )
+    trace.add_argument("--n", type=int, default=48)
+    trace.add_argument("--peers", type=int, default=6)
+    trace.add_argument("--disconnections", type=int, default=3)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="write the trace as JSON Lines")
+    trace.add_argument("--chrome", metavar="PATH", default=None,
+                       help="write a Chrome trace_event JSON "
+                            "(chrome://tracing, Perfetto)")
+
+    report = sub.add_parser(
+        "report", help="one traced run: render the run report"
+    )
+    report.add_argument("--n", type=int, default=48)
+    report.add_argument("--peers", type=int, default=6)
+    report.add_argument("--disconnections", type=int, default=3)
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--markdown", action="store_true",
+                        help="emit markdown instead of plain text")
     return parser
 
 
@@ -183,6 +211,52 @@ def _cmd_syncasync(args) -> int:
     return 0
 
 
+def _traced_run(args):
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    result = run_poisson_on_p2p(
+        n=args.n, peers=args.peers, disconnections=args.disconnections,
+        seed=args.seed, tracer=tracer,
+    )
+    return tracer, result
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    tracer, result = _traced_run(args)
+    if args.out:
+        n_events = write_jsonl(tracer, args.out)
+        print(f"wrote {n_events} events to {args.out}")
+    if args.chrome:
+        n_events = write_chrome_trace(tracer, args.chrome)
+        print(f"wrote {n_events} events to {args.chrome} (chrome://tracing)")
+    if not args.out and not args.chrome:
+        try:
+            for ev in tracer:
+                print(ev.as_dict())
+        except BrokenPipeError:  # `repro-cli trace | head` is normal usage
+            sys.stderr.close()  # suppress the interpreter's pipe warning
+            return 0
+    by_category: dict[str, int] = {}
+    for (category, _kind), count in sorted(tracer.counts.items()):
+        by_category[category] = by_category.get(category, 0) + count
+    summary = ", ".join(f"{cat}={n}" for cat, n in sorted(by_category.items()))
+    print(f"{len(tracer)} events ({summary})", file=sys.stderr)
+    if not result.converged:
+        print("WARNING: did not converge within the horizon", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    _, result = _traced_run(args)
+    report = result.run_report
+    print(report.to_markdown() if args.markdown else report.to_text())
+    return 0 if result.converged else 1
+
+
 def _cmd_ablation(args) -> int:
     table = {
         "checkpoint": checkpoint_frequency_ablation,
@@ -203,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
         "syncasync": _cmd_syncasync,
         "ablation": _cmd_ablation,
         "timeline": _cmd_timeline,
+        "trace": _cmd_trace,
+        "report": _cmd_report,
     }[args.command]
     return handler(args)
 

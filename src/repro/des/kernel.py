@@ -13,6 +13,7 @@ from typing import Any, Generator, Iterable
 from repro.des.events import AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
 from repro.errors import SimulationError
+from repro.obs.trace import NULL_TRACER, Tracer
 
 __all__ = ["Simulator"]
 
@@ -29,11 +30,20 @@ class Simulator:
         :meth:`run` by re-raising it — silent process crashes hide protocol
         bugs.  Unhandled :class:`~repro.des.process.Interrupt` is *not* an
         error (it is the normal way churn kills a peer).
+    tracer:
+        The observability trace bus (:mod:`repro.obs`).  Defaults to the
+        no-op :data:`~repro.obs.trace.NULL_TRACER`; every layer built on
+        this kernel reads ``sim.tracer`` at emit time, so attaching a
+        recording :class:`~repro.obs.trace.Tracer` (before or after
+        construction) turns the whole stack's instrumentation on.
     """
 
-    def __init__(self, start: float = 0.0, strict: bool = True):
+    def __init__(
+        self, start: float = 0.0, strict: bool = True, tracer: Tracer | None = None
+    ):
         self.now = float(start)
         self.strict = strict
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Process | None = None
@@ -49,7 +59,11 @@ class Simulator:
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, label: str = "") -> Process:
-        return Process(self, generator, label=label)
+        proc = Process(self, generator, label=label)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(self.now, "des", proc.name, "process_spawn")
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

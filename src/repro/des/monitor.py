@@ -3,6 +3,10 @@
 :class:`Probe` accumulates scalar observations with timestamps;
 :class:`PeriodicSampler` runs as a process and samples a callable at a fixed
 simulated period (e.g. queue depths, number of alive peers).
+
+Probes can register themselves with a :class:`repro.obs.MetricsRegistry`,
+mirroring every observation into a registry histogram so probe summaries
+appear in ``registry.snapshot()`` alongside the runtime's own metrics.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from repro.util.stats import OnlineStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.kernel import Simulator
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Probe", "PeriodicSampler"]
 
@@ -20,24 +25,46 @@ __all__ = ["Probe", "PeriodicSampler"]
 class Probe:
     """Timestamped scalar series with online summary statistics.
 
-    ``keep_series=False`` keeps only the summary (for memory-bound runs).
+    ``keep_series=False`` keeps only the summary (for memory-bound runs):
+    no per-observation storage at all — ``times``/``values`` stay empty on
+    *every* path, while ``last()`` and the summary stats remain exact.
+
+    ``registry`` optionally registers this probe as a
+    :class:`~repro.obs.metrics.Histogram` named ``probe_<name>``; each
+    observation is mirrored into it.
     """
 
-    def __init__(self, name: str, keep_series: bool = True):
+    def __init__(
+        self,
+        name: str,
+        keep_series: bool = True,
+        registry: "MetricsRegistry | None" = None,
+    ):
         self.name = name
         self.keep_series = keep_series
         self.times: list[float] = []
         self.values: list[float] = []
         self.stats = OnlineStats()
+        self._last: float | None = None
+        self._metric = (
+            registry.histogram(f"probe_{name}", help=f"observations of probe {name!r}")
+            if registry is not None
+            else None
+        )
 
     def observe(self, time: float, value: float) -> None:
+        value = float(value)
         self.stats.add(value)
+        self._last = value
+        if self._metric is not None:
+            self._metric.observe(value)
         if self.keep_series:
             self.times.append(float(time))
-            self.values.append(float(value))
+            self.values.append(value)
 
     def last(self) -> float | None:
-        return self.values[-1] if self.values else None
+        """The most recent observation (kept in both storage modes)."""
+        return self._last
 
     def __len__(self) -> int:
         return self.stats.count
@@ -47,7 +74,12 @@ class Probe:
 
 
 class PeriodicSampler:
-    """Samples ``fn()`` every ``period`` simulated seconds into a probe."""
+    """Samples ``fn()`` every ``period`` simulated seconds into a probe.
+
+    ``keep_series`` and ``registry`` are forwarded to the underlying
+    :class:`Probe` — pass ``keep_series=False`` for memory-bound runs
+    (previously the sampler always stored the full series regardless).
+    """
 
     def __init__(
         self,
@@ -56,10 +88,12 @@ class PeriodicSampler:
         period: float,
         name: str = "sampler",
         horizon: float = float("inf"),
+        keep_series: bool = True,
+        registry: "MetricsRegistry | None" = None,
     ):
         if period <= 0:
             raise ValueError("sampling period must be positive")
-        self.probe = Probe(name)
+        self.probe = Probe(name, keep_series=keep_series, registry=registry)
         self._fn = fn
         self._period = period
         self._horizon = horizon

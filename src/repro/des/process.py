@@ -89,6 +89,10 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt dead process {self!r}")
         if self.sim._active_process is self:
             raise SimulationError("a process cannot interrupt itself")
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "des", self.name, "process_interrupt",
+                    cause=str(cause))
         failure = Event(self.sim, name="interrupt")
         failure._ok = False
         failure._value = Interrupt(cause)

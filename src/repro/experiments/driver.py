@@ -9,7 +9,7 @@ and returns a fully populated :class:`RunResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -22,6 +22,7 @@ from repro.experiments.config import (
     optimal_overlap,
 )
 from repro.numerics import Poisson2D
+from repro.obs import RunReport, Tracer, build_run_report
 from repro.p2p import P2PConfig, build_cluster, launch_application
 from repro.util.rng import RngTree
 
@@ -49,6 +50,8 @@ class RunResult:
     replacements: int
     checkpoints_sent: int
     data_messages: int
+    #: populated only when the run was traced (``tracer=`` argument)
+    run_report: RunReport | None = field(default=None, compare=False)
 
     def row(self) -> dict:
         return {
@@ -79,6 +82,7 @@ def run_poisson_on_p2p(
     convergence_threshold: float = 1e-6,
     collect: bool = True,
     warm_start: bool = False,
+    tracer: Tracer | None = None,
 ) -> RunResult:
     """Run the paper's experiment once.
 
@@ -86,6 +90,11 @@ def run_poisson_on_p2p(
     requested disconnections are spread; when None and churn is requested,
     a churn-free calibration run with the same parameters measures it —
     mirroring the paper, which disconnects peers "during the execution".
+
+    ``tracer`` enables structured tracing (:mod:`repro.obs`) for the main
+    run only (the churn-calibration pre-run stays untraced, so the trace
+    describes exactly one execution) and populates
+    :attr:`RunResult.run_report`.
     """
     if peers < 1:
         raise ValueError("peers must be >= 1")
@@ -115,6 +124,7 @@ def run_poisson_on_p2p(
         seed=seed,
         config=config,
         link_scale=link_scale,
+        tracer=tracer,
     )
     app = make_poisson_app(
         "poisson",
@@ -165,6 +175,16 @@ def run_poisson_on_p2p(
             residual = Poisson2D.manufactured(n).residual_norm(x)
 
     telemetry = cluster.telemetry
+    run_report = None
+    if tracer is not None:
+        run_report = build_run_report(
+            telemetry=telemetry,
+            network=cluster.network,
+            tracer=tracer,
+            spawner=spawner,
+            superpeers=cluster.superpeers,
+            app_id=app.app_id,
+        )
     return RunResult(
         n=n,
         peers=peers,
@@ -183,4 +203,5 @@ def run_poisson_on_p2p(
         replacements=spawner.replacements,
         checkpoints_sent=telemetry.checkpoints_sent,
         data_messages=telemetry.data_messages_sent,
+        run_report=run_report,
     )

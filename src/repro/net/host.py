@@ -154,6 +154,9 @@ class Host:
             return
         self.online = False
         self.fail_count += 1
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "net", self.name, "host_fail", cause=str(cause))
         procs, self._processes = self._processes, []
         for proc in procs:
             if proc.is_alive and proc is not self.sim.active_process:
@@ -168,6 +171,9 @@ class Host:
             return
         self.online = True
         self.recover_count += 1
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "net", self.name, "host_recover")
         for callback in list(self._on_recover):
             callback(self)
 

@@ -136,9 +136,16 @@ class Network:
                 self.host(name)  # validate
                 mapping[name] = gid
         self._partition = mapping
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "net", "fabric", "partition",
+                    groups=[list(g) for g in groups])
 
     def heal_partition(self) -> None:
         self._partition = None
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "net", "fabric", "heal")
 
     def reachable(self, a: str, b: str) -> bool:
         """True when no partition separates hosts ``a`` and ``b``."""
@@ -164,21 +171,34 @@ class Network:
         *runtime* failure mode (dead peer, partition, loss) degrades to a
         silent counted drop.
         """
+        tr = self.sim.tracer
         src_host = self.host(src.host)
         if not src_host.online:
             # A dead host cannot transmit: drop at the source.
             msg = Message(src, dst, payload, size or 0, self.sim.now, reliable)
             self.dropped_dead += 1
+            if tr.enabled:
+                tr.emit(self.sim.now, "net", "fabric", "drop",
+                        msg_id=msg.msg_id, src=str(src), dst=str(dst),
+                        reason="src_dead")
             return msg
         if size is None:
             size = measured_size(payload)
         msg = Message(src, dst, payload, int(size), self.sim.now, reliable)
         self.sent += 1
         self.bytes_sent += msg.size
+        if tr.enabled:
+            tr.emit(self.sim.now, "net", "fabric", "send",
+                    msg_id=msg.msg_id, src=str(src), dst=str(dst),
+                    size=msg.size, reliable=reliable)
 
         dst_host = self.hosts.get(dst.host)
         if dst_host is None:
             self.dropped_dead += 1
+            if tr.enabled:
+                tr.emit(self.sim.now, "net", "fabric", "drop",
+                        msg_id=msg.msg_id, src=str(src), dst=str(dst),
+                        reason="no_such_host")
             return msg
         delay = self.link_model.delay(src_host, dst_host, msg.size)
         if self.congestion is not None:
@@ -199,6 +219,7 @@ class Network:
             self.in_flight -= 1
         if not self.reachable(msg.src.host, msg.dst.host):
             self.dropped_partition += 1
+            self._trace_drop(msg, "partition")
             return
         if (
             not msg.reliable
@@ -206,20 +227,36 @@ class Network:
             and self.rng.uniform() < self.loss_rate
         ):
             self.dropped_loss += 1
+            self._trace_drop(msg, "loss")
             return
         dst_host = self.hosts.get(msg.dst.host)
         if dst_host is None or not dst_host.online:
             self.dropped_dead += 1
+            self._trace_drop(msg, "dst_dead")
             return
         ep = dst_host.endpoint(msg.dst.port)
         if ep is None:
             self.dropped_dead += 1
+            self._trace_drop(msg, "no_endpoint")
             return
         if ep.deliver(msg):
             self.delivered += 1
             self.bytes_delivered += msg.size
+            tr = self.sim.tracer
+            if tr.enabled:
+                tr.emit(self.sim.now, "net", "fabric", "deliver",
+                        msg_id=msg.msg_id, src=str(msg.src), dst=str(msg.dst),
+                        size=msg.size)
         else:
             self.dropped_overflow += 1
+            self._trace_drop(msg, "overflow")
+
+    def _trace_drop(self, msg: Message, reason: str) -> None:
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "net", "fabric", "drop",
+                    msg_id=msg.msg_id, src=str(msg.src), dst=str(msg.dst),
+                    reason=reason)
 
     # -- stats -------------------------------------------------------------------
 

@@ -133,7 +133,11 @@ def spectral_radius(T, iterations: int = 5000, tol: float = 1e-12, seed: int = 0
         k = 1
         if Ts.shape[0] - 2 <= k:  # ARPACK needs k < n-1
             return float(np.abs(np.linalg.eigvals(Ts.toarray())).max())
-        vals = eigs(Ts, k=k, which="LM", return_eigenvectors=False, maxiter=iterations)
+        # explicit start vector: ARPACK's own is drawn from process-global
+        # state, which would make the estimate depend on unrelated prior calls
+        v0 = np.random.default_rng(seed).random(Ts.shape[0]) + 0.1
+        vals = eigs(Ts, k=k, which="LM", return_eigenvectors=False,
+                    maxiter=iterations, v0=v0)
         return float(np.abs(vals).max())
 
     rng = np.random.default_rng(seed)

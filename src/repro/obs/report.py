@@ -1,0 +1,164 @@
+"""Human-readable run reports.
+
+:func:`build_run_report` condenses one application run — the
+:class:`~repro.p2p.telemetry.Telemetry` façade, the network's delivery
+statistics and (when tracing was on) the trace bus — into a
+:class:`RunReport` that renders as plain text or markdown.  This is what
+``repro-cli report`` prints.
+
+The report's numbers are sourced from the same metrics registry the
+``Telemetry`` compatibility façade fronts, so report output always agrees
+with the legacy counters the experiment harness asserts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.trace import Tracer
+
+__all__ = ["RunReport", "build_run_report"]
+
+
+@dataclass
+class RunReport:
+    """Condensed facts about one application run."""
+
+    app_id: str = ""
+    converged: bool = False
+    launched_at: float = 0.0
+    converged_at: float | None = None
+    execution_time: float | None = None
+    total_iterations: int = 0
+    useless_fraction: float = 0.0
+    data_messages_sent: int = 0
+    checkpoints_sent: int = 0
+    convergence_messages: int = 0
+    #: ``(time, task_id, resumed_iteration, from_scratch)`` per recovery
+    recoveries: list = field(default_factory=list)
+    restarts_from_zero: int = 0
+    heartbeat_misses: int = 0
+    evictions: int = 0
+    replacements: int = 0
+    net_stats: dict = field(default_factory=dict)
+    #: exact per-``(category, kind)`` trace counts (empty without a tracer)
+    event_counts: dict = field(default_factory=dict)
+
+    # -- rendering ------------------------------------------------------------
+
+    def _rows(self) -> list[tuple[str, str]]:
+        time_s = (
+            f"{self.execution_time:.3f} s" if self.execution_time is not None else "-"
+        )
+        drops = sum(
+            v for k, v in self.net_stats.items() if k.startswith("dropped_")
+        )
+        return [
+            ("converged", str(self.converged)),
+            ("execution time", time_s),
+            ("iterations", str(self.total_iterations)),
+            ("useless fraction", f"{self.useless_fraction:.3f}"),
+            ("data messages", str(self.data_messages_sent)),
+            ("checkpoints sent", str(self.checkpoints_sent)),
+            ("convergence msgs", str(self.convergence_messages)),
+            ("heartbeat misses", str(self.heartbeat_misses)),
+            ("evictions", str(self.evictions)),
+            ("replacements", str(self.replacements)),
+            ("recoveries", str(len(self.recoveries))),
+            ("restarts from zero", str(self.restarts_from_zero)),
+            ("messages sent", str(self.net_stats.get("sent", 0))),
+            ("messages delivered", str(self.net_stats.get("delivered", 0))),
+            ("messages dropped", str(drops)),
+        ]
+
+    def _recovery_lines(self) -> list[str]:
+        lines = []
+        for rec in self.recoveries:
+            time, task_id, iteration, from_scratch = (
+                rec.time,
+                rec.task_id,
+                rec.resumed_iteration,
+                rec.from_scratch,
+            )
+            source = "scratch" if from_scratch else "backup"
+            lines.append(
+                f"t={time:.3f}s  task {task_id}  resumed at iteration "
+                f"{iteration}  from {source}"
+            )
+        return lines
+
+    def to_text(self) -> str:
+        """Plain-text rendering (aligned key/value pairs)."""
+        title = f"run report{f' — {self.app_id}' if self.app_id else ''}"
+        lines = [title, "=" * len(title)]
+        for key, value in self._rows():
+            lines.append(f"{key:>20}: {value}")
+        if self.recoveries:
+            lines.append("")
+            lines.append("recovery history:")
+            lines.extend(f"  {line}" for line in self._recovery_lines())
+        if self.event_counts:
+            lines.append("")
+            lines.append("trace events:")
+            for (cat, kind), n in sorted(self.event_counts.items()):
+                lines.append(f"  {cat + '/' + kind:<28} {n}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Markdown rendering (tables)."""
+        title = f"# Run report{f' — `{self.app_id}`' if self.app_id else ''}"
+        lines = [title, "", "| metric | value |", "|---|---|"]
+        lines.extend(f"| {key} | {value} |" for key, value in self._rows())
+        if self.recoveries:
+            lines += ["", "## Recovery history", ""]
+            lines.extend(f"* {line}" for line in self._recovery_lines())
+        if self.event_counts:
+            lines += ["", "## Trace events", "", "| event | count |", "|---|---|"]
+            lines.extend(
+                f"| `{cat}/{kind}` | {n} |"
+                for (cat, kind), n in sorted(self.event_counts.items())
+            )
+        return "\n".join(lines)
+
+
+def build_run_report(
+    telemetry,
+    network=None,
+    tracer: Tracer | None = None,
+    spawner=None,
+    superpeers=(),
+    app_id: str = "",
+) -> RunReport:
+    """Assemble a :class:`RunReport` from whatever sources are at hand.
+
+    ``telemetry`` is required (any object with the
+    :class:`~repro.p2p.telemetry.Telemetry` read surface); the rest are
+    optional and simply leave their sections empty/zero when absent.
+    Heartbeat misses and evictions prefer exact trace counts and fall back
+    to the spawner's / Super-Peers' own counters when tracing was off.
+    """
+    report = RunReport(
+        app_id=app_id or (spawner.app.app_id if spawner is not None else ""),
+        converged=telemetry.converged_at is not None,
+        launched_at=telemetry.launched_at,
+        converged_at=telemetry.converged_at,
+        execution_time=telemetry.execution_time,
+        total_iterations=telemetry.total_iterations,
+        useless_fraction=telemetry.useless_fraction,
+        data_messages_sent=telemetry.data_messages_sent,
+        checkpoints_sent=telemetry.checkpoints_sent,
+        convergence_messages=telemetry.convergence_messages,
+        recoveries=list(telemetry.recoveries),
+        restarts_from_zero=telemetry.restarts_from_zero,
+    )
+    if network is not None:
+        report.net_stats = network.stats()
+    if spawner is not None:
+        report.heartbeat_misses = spawner.failures_detected
+        report.replacements = spawner.replacements
+    report.evictions = sum(sp.evictions for sp in superpeers)
+    if tracer is not None and tracer.enabled:
+        report.event_counts = dict(tracer.counts)
+        report.heartbeat_misses = tracer.count("p2p", "hb_miss")
+        report.evictions = tracer.count("p2p", "evict")
+    return report

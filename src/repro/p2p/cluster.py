@@ -48,6 +48,16 @@ class Cluster:
         return self.testbed.network
 
     @property
+    def tracer(self):
+        """The trace bus every layer of this deployment emits into."""
+        return self.sim.tracer
+
+    @property
+    def metrics(self):
+        """The metrics registry behind :attr:`telemetry`."""
+        return self.telemetry.registry
+
+    @property
     def superpeer_addresses(self) -> list[Address]:
         return [sp.stub.address for sp in self.superpeers]
 
@@ -81,16 +91,23 @@ def build_cluster(
     sim: Simulator | None = None,
     link_scale: float = 1.0,
     loss_rate: float = 0.0,
+    tracer=None,
 ) -> Cluster:
     """Create a full deployment mirroring the paper's §7 testbed shape.
 
     ``loss_rate`` drops that fraction of ALL messages in transit — data,
     heartbeats, checkpoints and control calls alike — exercising §5.3's
     claim that the asynchronous model is message-loss tolerant.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) turns on structured tracing
+    across every layer of the deployment; the default leaves the kernel's
+    zero-overhead null tracer in place.
     """
     config = config or P2PConfig()
     rng = RngTree(seed)
     sim = sim or Simulator()
+    if tracer is not None:
+        sim.tracer = tracer
     testbed = build_testbed(
         sim,
         n_daemons=n_daemons,

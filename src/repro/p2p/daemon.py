@@ -187,6 +187,8 @@ class TaskRunner:
             iteration=self.iteration,
             from_scratch=from_scratch,
         )
+        self.daemon._trace("recovery", task=self.task_id,
+                           iteration=self.iteration, from_scratch=from_scratch)
         if self.telemetry is not None:
             self.telemetry.record_recovery(
                 self.sim.now, self.task_id, self.iteration, from_scratch
@@ -227,6 +229,8 @@ class TaskRunner:
             created_at=self.sim.now,
         )
         self.daemon.runtime.oneway(stub, "store_backup", backup)
+        self.daemon._trace("checkpoint_store", task=self.task_id,
+                           iteration=self.iteration, guardian=target_task)
         if self.telemetry is not None:
             self.telemetry.checkpoints_sent += 1
 
@@ -234,6 +238,8 @@ class TaskRunner:
         flipped = self.detector.update(distance)
         if not flipped:
             return
+        self.daemon._trace("stability_flip", task=self.task_id,
+                           stable=self.detector.stable)
         self.daemon.runtime.oneway(
             self.spawner_stub, "set_state",
             self.app_id, self.task_id, self.epoch, self.detector.stable,
@@ -402,6 +408,8 @@ class Daemon(RemoteObject):
         )
         self._log("task_assigned", app=app_id, task=task_id, epoch=epoch,
                   restart=restart)
+        self._trace("assign", app=app_id, task=task_id, epoch=epoch,
+                    restart=restart)
         return True
 
     @remote
@@ -470,7 +478,10 @@ class Daemon(RemoteObject):
     @remote
     def store_backup(self, backup: Backup) -> bool:
         """Guard a neighbour's checkpoint (§5.4)."""
-        return self.backup_store.save(backup)
+        saved = self.backup_store.save(backup)
+        self._trace("checkpoint_stored", task=backup.task_id,
+                    iteration=backup.iteration, saved=saved)
+        return saved
 
     @remote
     def backup_iteration(self, app_id: str, task_id: int) -> int | None:
@@ -478,7 +489,9 @@ class Daemon(RemoteObject):
 
     @remote
     def load_backup(self, app_id: str, task_id: int) -> Backup | None:
-        return self.backup_store.load(app_id, task_id)
+        backup = self.backup_store.load(app_id, task_id)
+        self._trace("checkpoint_load", task=task_id, found=backup is not None)
+        return backup
 
     @remote
     def halt(self, app_id: str) -> bool:
@@ -532,6 +545,11 @@ class Daemon(RemoteObject):
     def _log(self, kind: str, **detail) -> None:
         if self.log is not None:
             self.log.emit(self.sim.now, self.daemon_id, kind, **detail)
+
+    def _trace(self, kind: str, **attrs) -> None:
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "p2p", self.daemon_id, kind, **attrs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "computing" if self.runner is not None else (

@@ -143,6 +143,7 @@ class Spawner(RemoteObject):
                 self.runtime.oneway(slot.daemon_stub, "halt", self.app.app_id)
             return
         self.last_seen[task_id] = self.sim.now
+        self._trace("heartbeat", task=task_id, daemon=daemon_id)
         if stable is not None:
             self.set_state(app_id, task_id, epoch, stable)
 
@@ -204,6 +205,8 @@ class Spawner(RemoteObject):
             if seen < deadline:
                 self._log("spawner_failure_detected", task=slot.task_id,
                           daemon=slot.daemon_id)
+                self._trace("hb_miss", task=slot.task_id, daemon=slot.daemon_id,
+                            last_seen=seen)
                 slot.daemon_id = None
                 slot.daemon_stub = None
                 self.tracker.reset_task(slot.task_id)
@@ -253,6 +256,8 @@ class Spawner(RemoteObject):
                 self.replacements += 1
             self._log("spawner_assigned", task=slot.task_id, daemon=daemon_id,
                       epoch=epoch, restart=restart)
+            self._trace("slot_filled", task=slot.task_id, daemon=daemon_id,
+                        epoch=epoch, restart=restart)
             changed = True
         return changed
 
@@ -358,6 +363,7 @@ class Spawner(RemoteObject):
         self.telemetry.converged_at = self.sim.now
         self._log("spawner_converged", at=self.sim.now,
                   iterations=self.telemetry.total_iterations)
+        self._trace("converged", iterations=self.telemetry.total_iterations)
         for slot in self.register.slots:
             if slot.assigned:
                 self.runtime.oneway(slot.daemon_stub, "halt", self.app.app_id)
@@ -396,6 +402,11 @@ class Spawner(RemoteObject):
     def _log(self, kind: str, **detail) -> None:
         if self.log is not None:
             self.log.emit(self.sim.now, f"spawner:{self.app.app_id}", kind, **detail)
+
+    def _trace(self, kind: str, **attrs) -> None:
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "p2p", f"spawner:{self.app.app_id}", kind, **attrs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

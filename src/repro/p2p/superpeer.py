@@ -75,6 +75,7 @@ class SuperPeer(RemoteObject):
         """A Daemon joins (bootstrap, §5.1) or re-joins after eviction."""
         self.register[daemon_id] = DaemonRecord(daemon_id, stub, self.sim.now)
         self._log("sp_register", daemon=daemon_id)
+        self._trace("register", daemon=daemon_id)
         return True
 
     @remote
@@ -83,6 +84,7 @@ class SuperPeer(RemoteObject):
         removed = self.register.pop(daemon_id, None) is not None
         if removed:
             self._log("sp_unregister", daemon=daemon_id)
+            self._trace("unregister", daemon=daemon_id)
         return removed
 
     @remote
@@ -91,6 +93,7 @@ class SuperPeer(RemoteObject):
         here (evicted or talking to a rebooted Super-Peer) and must
         re-register."""
         record = self.register.get(daemon_id)
+        self._trace("heartbeat", daemon=daemon_id, known=record is not None)
         if record is None:
             return False
         record.last_seen = self.sim.now
@@ -109,6 +112,7 @@ class SuperPeer(RemoteObject):
             picked.append((record.daemon_id, record.stub))
         if picked:
             self._log("sp_reserve_local", count=len(picked))
+            self._trace("reserve", count=len(picked))
         return picked
 
     @remote
@@ -158,10 +162,16 @@ class SuperPeer(RemoteObject):
                 del self.register[daemon_id]
                 self.evictions += 1
                 self._log("sp_evict", daemon=daemon_id)
+                self._trace("evict", daemon=daemon_id)
 
     def _log(self, kind: str, **detail) -> None:
         if self.log is not None:
             self.log.emit(self.sim.now, self.sp_id, kind, **detail)
+
+    def _trace(self, kind: str, **attrs) -> None:
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "p2p", self.sp_id, kind, **attrs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<SuperPeer {self.sp_id} register={len(self.register)}>"

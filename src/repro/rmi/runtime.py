@@ -118,6 +118,11 @@ class RmiRuntime:
         msg = CallMessage(stub.object_name, method, args, kwargs, reply_to=self.address)
         self._pending[msg.call_id] = result
         self.calls_sent += 1
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "rmi", self.name, "call",
+                    call_id=msg.call_id, object=stub.object_name, method=method,
+                    dst=str(stub.address))
         # calls ride the TCP-like reliable channel (Java RMI semantics):
         # they complete or fail with a connection error — never silently
         # vanish mid-exchange on a healthy pair of hosts
@@ -144,6 +149,10 @@ class RmiRuntime:
         loss would wedge a protocol (e.g. Application Register updates).
         """
         self.oneways_sent += 1
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "rmi", self.name, "oneway",
+                    object=stub.object_name, method=method, dst=str(stub.address))
         msg = OnewayMessage(stub.object_name, method, args, kwargs)
         self.network.send(self.address, stub.address, msg, reliable=reliable)
 
@@ -151,6 +160,10 @@ class RmiRuntime:
         yield self.sim.timeout(timeout)
         if not result.triggered:
             self._pending.pop(call_id, None)
+            tr = self.sim.tracer
+            if tr.enabled:
+                tr.emit(self.sim.now, "rmi", self.name, "error",
+                        call_id=call_id, reason="timeout", timeout=timeout)
             result.fail(RemoteError(f"call #{call_id} timed out after {timeout}s"))
 
     # -- dispatcher -----------------------------------------------------------
@@ -178,12 +191,20 @@ class RmiRuntime:
         event = self._pending.pop(reply.call_id, None)
         if event is None or event.triggered:
             return  # late reply after timeout: drop
+        tr = self.sim.tracer
         if reply.ok:
+            if tr.enabled:
+                tr.emit(self.sim.now, "rmi", self.name, "reply",
+                        call_id=reply.call_id, ok=True)
             event.succeed(reply.value)
         else:
             exc = reply.value
             if not isinstance(exc, BaseException):  # defensive
                 exc = RemoteError(f"malformed error reply: {exc!r}")
+            if tr.enabled:
+                tr.emit(self.sim.now, "rmi", self.name, "error",
+                        call_id=reply.call_id, reason="remote_exception",
+                        error=repr(exc))
             event.fail(exc)
 
     def _resolve(self, object_name: str, method: str):

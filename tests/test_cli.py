@@ -53,6 +53,53 @@ def test_cli_run_csv_export(tmp_path, capsys):
     assert "24,576,3" in text
 
 
+def test_cli_trace_writes_jsonl(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "run.jsonl"
+    rc = main(["trace", "--n", "24", "--peers", "3", "--disconnections", "1",
+               "--seed", "2", "--out", str(target)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert f"wrote" in captured.out and str(target) in captured.out
+    assert "events" in captured.err
+    lines = target.read_text().splitlines()
+    assert lines
+    categories = {json.loads(line)["category"] for line in lines}
+    assert {"des", "net", "rmi", "p2p"} <= categories
+
+
+def test_cli_trace_writes_chrome(tmp_path, capsys):
+    import json
+
+    target = tmp_path / "run.json"
+    rc = main(["trace", "--n", "24", "--peers", "3", "--seed", "0",
+               "--chrome", str(target)])
+    assert rc == 0
+    doc = json.loads(target.read_text())
+    assert doc["traceEvents"]
+    assert any(rec["ph"] == "i" for rec in doc["traceEvents"])
+
+
+def test_cli_report(capsys):
+    rc = main(["report", "--n", "24", "--peers", "3", "--disconnections", "1",
+               "--seed", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "run report" in out
+    assert "converged: True" in out
+    assert "trace events:" in out
+
+
+def test_cli_report_markdown(capsys):
+    rc = main(["report", "--n", "24", "--peers", "3", "--seed", "0",
+               "--markdown"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "# Run report" in out
+    assert "| metric | value |" in out
+
+
 def test_cli_timeline(capsys):
     rc = main(["timeline", "--n", "40", "--peers", "4",
                "--disconnections", "1", "--seed", "3"])

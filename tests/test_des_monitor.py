@@ -25,7 +25,44 @@ def test_probe_summary_only_mode():
         p.observe(float(i), float(i))
     assert p.times == [] and p.values == []
     assert p.stats.count == 1000
-    assert p.last() is None
+    # summary mode still knows the most recent observation
+    assert p.last() == 999.0
+    assert p.stats.mean == pytest.approx(499.5)
+
+
+def test_probe_registers_with_metrics_registry():
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    p = Probe("depth", registry=reg)
+    for v in (1.0, 2.0, 3.0):
+        p.observe(0.0, v)
+    hist = reg.get("probe_depth")
+    assert hist is not None and hist.count == 3
+    assert hist.stats.mean == pytest.approx(2.0)
+
+
+def test_sampler_summary_only_mode_skips_series():
+    # regression: the sampler used to ignore keep_series and store
+    # the full series regardless
+    sim = Simulator()
+    sampler = PeriodicSampler(sim, lambda: 7.0, period=1.0,
+                              keep_series=False, horizon=50.0)
+    sim.run(until=100.0)
+    assert sampler.probe.times == [] and sampler.probe.values == []
+    assert sampler.probe.stats.count == 50
+    assert sampler.probe.last() == 7.0
+
+
+def test_sampler_forwards_registry():
+    from repro.obs import MetricsRegistry
+
+    sim = Simulator()
+    reg = MetricsRegistry()
+    PeriodicSampler(sim, lambda: sim.now, period=1.0, name="clock",
+                    horizon=5.0, registry=reg)
+    sim.run(until=10.0)
+    assert reg.get("probe_clock").count == 5
 
 
 def test_periodic_sampler_samples_on_schedule():

@@ -1,0 +1,113 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_unlabelled():
+    c = Counter("msgs")
+    c.inc()
+    c.inc(2.5)
+    assert c.value() == 3.5
+    assert c.total == 3.5
+
+
+def test_counter_labelled():
+    c = Counter("iters")
+    c.inc(task=0)
+    c.inc(task=0)
+    c.inc(task=1)
+    assert c.value(task=0) == 2
+    assert c.value(task=1) == 1
+    assert c.value(task=2) == 0
+    assert c.total == 3
+    assert c.by_label("task") == {0: 2.0, 1: 1.0}
+
+
+def test_counter_label_order_is_irrelevant():
+    c = Counter("x")
+    c.inc(a=1, b=2)
+    c.inc(b=2, a=1)
+    assert c.value(a=1, b=2) == 2
+
+
+def test_counter_set_absolute():
+    c = Counter("legacy")
+    c.set(10)
+    c.set(c.value() + 1)  # the facade's += pattern
+    assert c.value() == 11
+
+
+def test_gauge_set_inc_clear():
+    g = Gauge("depth")
+    assert g.value() is None
+    assert g.value(default=0.0) == 0.0
+    g.set(5.0)
+    g.inc(2.0)
+    assert g.value() == 7.0
+    g.clear()
+    assert g.value() is None
+    g.set(1.0, host="a")
+    assert g.value(host="a") == 1.0 and g.value() is None
+
+
+def test_histogram_summary_only():
+    h = Histogram("lat")
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.stats.mean == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        h.quantile(0.5)
+
+
+def test_histogram_with_bins():
+    h = Histogram("lat", low=0.0, high=10.0, bins=10)
+    for v in range(10):
+        h.observe(float(v))
+    assert h.count == 10
+    assert 3.0 <= h.quantile(0.5) <= 6.0
+    snap = h.snapshot()
+    assert snap["type"] == "histogram" and "p95" in snap
+
+
+def test_registry_get_or_create_shares_instances():
+    reg = MetricsRegistry()
+    a = reg.counter("msgs", help="messages")
+    b = reg.counter("msgs")
+    assert a is b
+    a.inc()
+    assert b.total == 1
+
+
+def test_registry_type_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError, match="already registered"):
+        reg.gauge("x")
+
+
+def test_registry_introspection():
+    reg = MetricsRegistry()
+    reg.counter("b")
+    reg.gauge("a")
+    reg.histogram("c")
+    assert reg.names() == ["a", "b", "c"]
+    assert "a" in reg and "zzz" not in reg
+    assert len(reg) == 3
+    assert reg.get("zzz") is None
+    assert {m.name for m in reg} == {"a", "b", "c"}
+
+
+def test_registry_snapshot_is_json_friendly():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("msgs").inc(task=1)
+    reg.gauge("t").set(4.2)
+    reg.histogram("lat").observe(0.1)
+    snap = reg.snapshot()
+    assert set(snap) == {"msgs", "t", "lat"}
+    assert snap["msgs"]["type"] == "counter"
+    json.dumps(snap)  # must not raise

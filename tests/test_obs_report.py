@@ -1,0 +1,144 @@
+"""Run-report tests, including the end-to-end churn acceptance run.
+
+The integration test mirrors ``examples/churn_resilience.py``: a traced
+churn run whose trace must contain heartbeat-miss, eviction, checkpoint
+and recovery events, and whose rendered report must agree with the legacy
+``Telemetry`` counters.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import RunReport, Tracer, build_run_report, trace_to_jsonl
+from repro.p2p import Telemetry
+
+
+def test_report_from_bare_telemetry():
+    t = Telemetry()
+    t.record_iteration(0, fresh=True)
+    t.launched_at = 0.5
+    t.converged_at = 2.5
+    report = build_run_report(telemetry=t)
+    assert report.converged
+    assert report.execution_time == 2.0
+    assert report.total_iterations == 1
+    assert report.event_counts == {}
+    assert "converged: True" in report.to_text()
+
+
+def test_report_renders_without_convergence():
+    report = build_run_report(telemetry=Telemetry())
+    assert not report.converged
+    assert "execution time" in report.to_text()
+    assert "| converged | False |" in report.to_markdown()
+
+
+def test_report_prefers_trace_counts():
+    t = Telemetry()
+    tr = Tracer()
+    tr.emit(1.0, "p2p", "spawner:x", "hb_miss", task=0, daemon="D1#1")
+    tr.emit(1.2, "p2p", "SP0", "evict", daemon="D2#1")
+    tr.emit(1.3, "p2p", "SP1", "evict", daemon="D4#1")
+    report = build_run_report(telemetry=t, tracer=tr)
+    assert report.heartbeat_misses == 1
+    assert report.evictions == 2
+    assert report.event_counts[("p2p", "evict")] == 2
+
+
+def test_markdown_contains_tables():
+    report = RunReport(app_id="demo", converged=True, total_iterations=10,
+                       event_counts={("net", "send"): 4})
+    md = report.to_markdown()
+    assert md.startswith("# Run report — `demo`")
+    assert "| metric | value |" in md
+    assert "| `net/send` | 4 |" in md
+
+
+@pytest.fixture(scope="module")
+def churn_run():
+    """One traced churn run felling computing peers AND spare daemons."""
+    from repro.apps import make_poisson_app
+    from repro.churn import ChurnInjector, PaperChurn
+    from repro.experiments.config import (
+        EXPERIMENT_CONFIG,
+        EXPERIMENT_LINK_SCALE,
+        optimal_overlap,
+    )
+    from repro.p2p import build_cluster, launch_application
+    from repro.util.rng import RngTree
+
+    tracer = Tracer()
+    cluster = build_cluster(
+        n_daemons=12, n_superpeers=3, seed=4,
+        config=EXPERIMENT_CONFIG, link_scale=EXPERIMENT_LINK_SCALE,
+        tracer=tracer,
+    )
+    app = make_poisson_app("churny", n=48, num_tasks=6,
+                           overlap=optimal_overlap(48, 6))
+    spawner = launch_application(cluster, app)
+    ChurnInjector(
+        cluster.sim, cluster.testbed.daemon_hosts,
+        PaperChurn(n_disconnections=4, reconnect_delay=1.0),
+        RngTree(4).child("churn"), horizon=2.0, log=cluster.log,
+    )
+    sim = cluster.sim
+    sim.run(until=sim.any_of([spawner.done, sim.timeout(900.0)]))
+    assert spawner.done.triggered
+    return cluster, spawner, tracer
+
+
+def test_churn_trace_contains_acceptance_events(churn_run):
+    _, _, tracer = churn_run
+    for kind in ("hb_miss", "evict", "checkpoint_store", "recovery"):
+        assert tracer.count("p2p", kind) > 0, f"no p2p/{kind} events"
+
+
+def test_churn_trace_jsonl_dump_has_acceptance_events(churn_run):
+    _, _, tracer = churn_run
+    kinds = {json.loads(line)["kind"] for line in trace_to_jsonl(tracer)}
+    assert {"hb_miss", "evict", "checkpoint_store", "recovery"} <= kinds
+
+
+def test_churn_report_agrees_with_telemetry(churn_run):
+    cluster, spawner, tracer = churn_run
+    telemetry = cluster.telemetry
+    report = build_run_report(
+        telemetry=telemetry, network=cluster.network, tracer=tracer,
+        spawner=spawner, superpeers=cluster.superpeers,
+    )
+    assert report.converged
+    assert report.total_iterations == telemetry.total_iterations
+    assert report.useless_fraction == telemetry.useless_fraction
+    assert report.checkpoints_sent == telemetry.checkpoints_sent
+    assert report.data_messages_sent == telemetry.data_messages_sent
+    assert len(report.recoveries) == len(telemetry.recoveries)
+    assert report.restarts_from_zero == telemetry.restarts_from_zero
+    assert report.execution_time == spawner.execution_time
+    # exact trace counts agree with the runtime's own counters
+    assert report.heartbeat_misses == spawner.failures_detected
+    assert report.evictions == sum(sp.evictions for sp in cluster.superpeers)
+    assert report.replacements == spawner.replacements
+    # trace-vs-telemetry cross-checks
+    assert tracer.count("p2p", "checkpoint_store") == telemetry.checkpoints_sent
+    assert tracer.count("p2p", "recovery") == len(telemetry.recoveries)
+    text = report.to_text()
+    assert f"recoveries: {len(telemetry.recoveries)}" in text
+    assert "p2p/evict" in text
+
+
+def test_driver_attaches_run_report():
+    from repro.experiments.driver import run_poisson_on_p2p
+
+    result = run_poisson_on_p2p(n=16, peers=2, seed=0)
+    assert result.run_report is None  # untraced runs stay lightweight
+
+    tracer = Tracer()
+    result = run_poisson_on_p2p(n=16, peers=2, seed=0, tracer=tracer)
+    report = result.run_report
+    assert report is not None
+    assert report.converged == result.converged
+    assert report.total_iterations == result.total_iterations
+    assert len(report.recoveries) == result.recoveries
+    assert report.checkpoints_sent == result.checkpoints_sent
+    assert report.event_counts == dict(tracer.counts)
