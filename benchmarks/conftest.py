@@ -8,11 +8,13 @@ EXPERIMENTS.md can quote exact regenerated numbers.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -28,5 +30,24 @@ def record_table(results_dir):
     def _record(name: str, text: str) -> None:
         print("\n" + text)
         (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture()
+def record_json(results_dir):
+    """Persist machine-readable results next to the text tables.
+
+    Writes ``benchmarks/results/<name>.json``; names starting with
+    ``BENCH_`` are additionally written to the repo root, where CI and the
+    regression checker look for committed baselines.
+    """
+
+    def _record(name: str, payload: dict) -> None:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        print("\n" + text)
+        (results_dir / f"{name}.json").write_text(text + "\n")
+        if name.startswith("BENCH_"):
+            (REPO_ROOT / f"{name}.json").write_text(text + "\n")
 
     return _record

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Compare a freshly measured BENCH_*.json against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BASELINE.json FRESH.json [--max-regression 0.25]
+
+The check is ratio-based so it is machine-independent: the *speedup*
+(cached vs bypass, measured on the same machine in the same job) must not
+fall more than ``--max-regression`` below the committed baseline speedup.
+Absolute wall-clock numbers are reported but never gated on — CI runners
+and developer laptops differ; the cached/bypass ratio does not.
+
+Exit status: 0 when within budget, 1 on regression or malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", type=Path, help="committed BENCH_*.json")
+    ap.add_argument("fresh", type=Path, help="freshly measured BENCH_*.json")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup drop vs baseline (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        fresh = json.loads(args.fresh.read_text())
+        base_speedup = float(baseline["speedup"])
+        new_speedup = float(fresh["speedup"])
+    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read benchmark results: {exc}", file=sys.stderr)
+        return 1
+
+    floor = (1.0 - args.max_regression) * base_speedup
+    print(f"baseline speedup: {base_speedup:.2f}x "
+          f"(bypass {baseline.get('wall_seconds_bypass')}s / "
+          f"cached {baseline.get('wall_seconds_cached')}s)")
+    print(f"fresh speedup:    {new_speedup:.2f}x "
+          f"(bypass {fresh.get('wall_seconds_bypass')}s / "
+          f"cached {fresh.get('wall_seconds_cached')}s)")
+    print(f"floor:            {floor:.2f}x "
+          f"(max regression {args.max_regression:.0%})")
+
+    if new_speedup < floor:
+        print("REGRESSION: hot-path speedup dropped below the allowed floor",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,9 +14,10 @@ from typing import Any
 import numpy as np
 import scipy.sparse as sp
 
+from repro.numerics.cg import csr_matvec_into
 from repro.numerics.poisson import Poisson2D
 from repro.numerics.residual import update_distance
-from repro.numerics.splitting import BlockDecomposition
+from repro.numerics.splitting import shared_decomposition
 from repro.p2p.messages import AppSpec
 from repro.p2p.task import IterationStep, Task, TaskContext
 
@@ -27,7 +28,9 @@ class JacobiTask(Task):
     """One strip relaxed with point-Jacobi sweeps.
 
     ``ctx.params``: ``n`` (grid size), ``sweeps`` (relaxations per
-    asynchronous iteration, default 1), ``problem``.
+    asynchronous iteration, default 1), ``problem``, ``use_cache``
+    (share decomposition and sweep operator, default True;
+    bitwise-neutral).
     """
 
     def setup(self, ctx: TaskContext) -> None:
@@ -36,22 +39,47 @@ class JacobiTask(Task):
         self.sweeps = int(ctx.params.get("sweeps", 1))
         if self.sweeps < 1:
             raise ValueError("sweeps must be >= 1")
+        self.use_cache = bool(ctx.params.get("use_cache", True))
         problem = ctx.params.get("problem", "manufactured")
-        prob = (
-            Poisson2D.manufactured(n) if problem == "manufactured"
-            else Poisson2D.heat_plate(n)
+        build_problem = (
+            Poisson2D.manufactured if problem == "manufactured"
+            else Poisson2D.heat_plate
         )
-        decomp = BlockDecomposition(prob.A, prob.b, nblocks=ctx.num_tasks, line=n)
+
+        def build_system():
+            prob = build_problem(n)
+            return prob.A, prob.b
+
+        decomp = shared_decomposition(
+            ("jacobi", problem, n),
+            build_system,
+            nblocks=ctx.num_tasks,
+            line=n,
+            enabled=self.use_cache,
+        )
         self.blk = decomp.blocks[ctx.task_id]
         blk = self.blk
-        diag = blk.A_local.diagonal()
-        if (diag == 0).any():
-            raise ValueError("Jacobi needs a nonzero diagonal")
-        self.inv_diag = 1.0 / diag
-        #: local matrix without its diagonal (for x_new = D^{-1}(b - R x))
-        self.R = (blk.A_local - sp.diags(diag)).tocsr()
+        cached = blk.op_cache.get("jacobi") if self.use_cache else None
+        if cached is not None:
+            self.inv_diag, self.R = cached
+        else:
+            diag = blk.A_local.diagonal()
+            if (diag == 0).any():
+                raise ValueError("Jacobi needs a nonzero diagonal")
+            self.inv_diag = 1.0 / diag
+            #: local matrix without its diagonal (for x_new = D^{-1}(b - R x))
+            self.R = (blk.A_local - sp.diags(diag)).tocsr()
+            if self.use_cache:
+                self.inv_diag.flags.writeable = False
+                self.R.data.flags.writeable = False
+                blk.op_cache["jacobi"] = (self.inv_diag, self.R)
         self.x = np.zeros(blk.n_ext)
         self.ext = np.zeros(blk.ext_cols.size)
+        if self.use_cache:
+            self._rhs = np.empty(blk.n_ext)
+            self._sweep_buf = np.empty(blk.n_ext)
+            self._old_owned = np.empty(blk.n_owned)
+            self._dist_work = np.empty(blk.n_owned)
 
     def initial_state(self) -> dict:
         blk = self.blk
@@ -74,13 +102,33 @@ class JacobiTask(Task):
             if values.shape == (positions.size,):
                 self.ext[positions] = values
 
-        rhs = blk.b_local - (blk.B_coupling @ self.ext if self.ext.size else 0.0)
-        old_owned = blk.owned_of(self.x).copy()
-        x = self.x
-        for _ in range(self.sweeps):
-            x = self.inv_diag * (rhs - self.R @ x)
-        self.x = x
-        distance = update_distance(blk.owned_of(self.x), old_owned)
+        if self.use_cache:
+            if self.ext.size:
+                csr_matvec_into(blk.B_coupling, self.ext, self._rhs)
+                np.subtract(blk.b_local, self._rhs, out=self._rhs)
+                rhs = self._rhs
+            else:
+                rhs = blk.b_local
+            np.copyto(self._old_owned, blk.owned_of(self.x))
+            old_owned = self._old_owned
+            buf = self._sweep_buf
+            x = self.x
+            for _ in range(self.sweeps):
+                # inv_diag * (rhs - R@x), elementwise-identical via the buffer
+                csr_matvec_into(self.R, x, buf)
+                np.subtract(rhs, buf, out=buf)
+                x = self.inv_diag * buf
+            self.x = x
+            distance = update_distance(blk.owned_of(self.x), old_owned,
+                                       work=self._dist_work)
+        else:
+            rhs = blk.b_local - (blk.B_coupling @ self.ext if self.ext.size else 0.0)
+            old_owned = blk.owned_of(self.x).copy()
+            x = self.x
+            for _ in range(self.sweeps):
+                x = self.inv_diag * (rhs - self.R @ x)
+            self.x = x
+            distance = update_distance(blk.owned_of(self.x), old_owned)
         outgoing = {nb: blk.values_to_send(self.x, nb) for nb in blk.send_map}
         flops = self.sweeps * (2.0 * self.R.nnz + 3.0 * blk.n_ext) + 2.0 * blk.B_coupling.nnz
         return IterationStep(flops=flops, outgoing=outgoing, local_distance=distance)
@@ -96,6 +144,7 @@ def make_jacobi_app(
     num_tasks: int,
     sweeps: int = 1,
     problem: str = "manufactured",
+    use_cache: bool = True,
     convergence_threshold: float | None = None,
     stability_window: int | None = None,
 ) -> AppSpec:
@@ -103,7 +152,8 @@ def make_jacobi_app(
         app_id=app_id,
         task_factory=JacobiTask,
         num_tasks=num_tasks,
-        params={"n": n, "sweeps": sweeps, "problem": problem},
+        params={"n": n, "sweeps": sweeps, "problem": problem,
+                "use_cache": use_cache},
         convergence_threshold=convergence_threshold,
         stability_window=stability_window,
     )

@@ -5,6 +5,9 @@ application parameters and restricts it to its strip — that is how a
 replacement Daemon reconstructs the sub-problem after a failure without any
 state transfer beyond the Backup.  (The paper ships Java byte-code plus
 arguments the same way; the matrix is never sent over the network.)
+Because the build is deterministic, P tasks and R recoveries share one
+memoized decomposition (:func:`repro.numerics.shared_decomposition`) unless
+``use_cache=False`` requests the original per-task rebuild.
 
 Per asynchronous iteration the task:
 
@@ -22,10 +25,10 @@ from typing import Any
 
 import numpy as np
 
-from repro.numerics.cg import conjugate_gradient
+from repro.numerics.cg import block_operator, conjugate_gradient, csr_matvec_into
 from repro.numerics.poisson import Poisson2D
 from repro.numerics.residual import update_distance
-from repro.numerics.splitting import BlockDecomposition
+from repro.numerics.splitting import shared_decomposition
 from repro.p2p.messages import AppSpec
 from repro.p2p.task import IterationStep, Task, TaskContext
 
@@ -48,7 +51,15 @@ class PoissonTask(Task):
       (compute-per-iteration / communication-per-iteration) is built on.
       Warm-starting makes stale-data iterations nearly free; it is exposed
       as an optimization ablation, not the reproduction default;
-    * ``problem`` — ``"manufactured"`` (default) or ``"plate"``.
+    * ``problem`` — ``"manufactured"`` (default) or ``"plate"``;
+    * ``use_cache`` — share the decomposition/operator caches (default
+      True).  False forces the original per-task legacy rebuild and the
+      allocating solver path; results are bitwise identical either way;
+    * ``inner_solver`` — ``"cg"`` (default) or ``"direct"``: the cached-LU
+      path for small blocks (requires ``use_cache``; falls back to CG for
+      blocks above ``direct_max_rows``, default 50000).  A different
+      numerical method — changes iteration counts and simulated time, so it
+      is an explicit opt-in, never part of the reproduction defaults.
     """
 
     def setup(self, ctx: TaskContext) -> None:
@@ -58,20 +69,42 @@ class PoissonTask(Task):
         self.inner_tol = float(ctx.params.get("inner_tol", 1e-10))
         self.inner_max_iter = ctx.params.get("inner_max_iter")
         self.warm_start = bool(ctx.params.get("warm_start", False))
+        self.use_cache = bool(ctx.params.get("use_cache", True))
+        self.inner_solver = str(ctx.params.get("inner_solver", "cg"))
+        if self.inner_solver not in ("cg", "direct"):
+            raise ValueError(f"unknown inner_solver {self.inner_solver!r}")
+        self.direct_max_rows = int(ctx.params.get("direct_max_rows", 50_000))
         problem = ctx.params.get("problem", "manufactured")
         if problem == "manufactured":
-            prob = Poisson2D.manufactured(n)
+            build_problem = Poisson2D.manufactured
         elif problem == "plate":
-            prob = Poisson2D.heat_plate(n)
+            build_problem = Poisson2D.heat_plate
         else:
             raise ValueError(f"unknown problem {problem!r}")
-        decomp = BlockDecomposition(
-            prob.A, prob.b, nblocks=ctx.num_tasks, line=n, overlap=overlap
+
+        def build_system():
+            prob = build_problem(n)
+            return prob.A, prob.b
+
+        decomp = shared_decomposition(
+            ("poisson", problem, n),
+            build_system,
+            nblocks=ctx.num_tasks,
+            line=n,
+            overlap=overlap,
+            enabled=self.use_cache,
         )
         self.blk = decomp.blocks[ctx.task_id]
         self.n = n
         self.x = np.zeros(self.blk.n_ext)
         self.ext = np.zeros(self.blk.ext_cols.size)
+        if self.use_cache:
+            self._op = block_operator(self.blk)
+            self._rhs = np.empty(self.blk.n_ext)
+            self._old_owned = np.empty(self.blk.n_owned)
+            self._dist_work = np.empty(self.blk.n_owned)
+        else:
+            self._op = None
 
     # -- state ---------------------------------------------------------------
 
@@ -98,17 +131,42 @@ class PoissonTask(Task):
             if values.shape == (positions.size,):
                 self.ext[positions] = values
 
-        rhs = blk.b_local - (blk.B_coupling @ self.ext if self.ext.size else 0.0)
-        old_owned = blk.owned_of(self.x).copy()
-        result = conjugate_gradient(
-            blk.A_local,
-            rhs,
-            x0=self.x if self.warm_start else None,
-            tol=self.inner_tol,
-            max_iter=self.inner_max_iter,
-        )
-        self.x = result.x
-        distance = update_distance(blk.owned_of(self.x), old_owned)
+        op = self._op
+        if op is not None:
+            # Cached path: same arithmetic into preallocated buffers.
+            if self.ext.size:
+                csr_matvec_into(blk.B_coupling, self.ext, self._rhs)
+                np.subtract(blk.b_local, self._rhs, out=self._rhs)
+                rhs = self._rhs
+            else:
+                rhs = blk.b_local  # read-only; the solver never writes b
+            np.copyto(self._old_owned, blk.owned_of(self.x))
+            old_owned = self._old_owned
+            if self.inner_solver == "direct" and blk.n_ext <= self.direct_max_rows:
+                result = op.solve_direct(rhs, tol=self.inner_tol)
+            else:
+                result = op.solve(
+                    rhs,
+                    x0=self.x if self.warm_start else None,
+                    tol=self.inner_tol,
+                    max_iter=self.inner_max_iter,
+                )
+            self.x = result.x
+            distance = update_distance(blk.owned_of(self.x), old_owned,
+                                       work=self._dist_work)
+        else:
+            # Legacy (cache-bypass) path: the original allocating code.
+            rhs = blk.b_local - (blk.B_coupling @ self.ext if self.ext.size else 0.0)
+            old_owned = blk.owned_of(self.x).copy()
+            result = conjugate_gradient(
+                blk.A_local,
+                rhs,
+                x0=self.x if self.warm_start else None,
+                tol=self.inner_tol,
+                max_iter=self.inner_max_iter,
+            )
+            self.x = result.x
+            distance = update_distance(blk.owned_of(self.x), old_owned)
 
         outgoing = {
             nb: blk.values_to_send(self.x, nb) for nb in blk.send_map
@@ -137,6 +195,8 @@ def make_poisson_app(
     inner_tol: float = 1e-10,
     inner_max_iter: int | None = None,
     warm_start: bool = False,
+    use_cache: bool = True,
+    inner_solver: str = "cg",
     convergence_threshold: float | None = None,
     stability_window: int | None = None,
 ) -> AppSpec:
@@ -152,6 +212,8 @@ def make_poisson_app(
             "inner_tol": inner_tol,
             "inner_max_iter": inner_max_iter,
             "warm_start": warm_start,
+            "use_cache": use_cache,
+            "inner_solver": inner_solver,
         },
         convergence_threshold=convergence_threshold,
         stability_window=stability_window,

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.util.serialization import clone_state, measured_size
+from repro.util.serialization import clone_state, measured_size, prime_payload_cache
 
 __all__ = ["Backup"]
 
@@ -31,6 +31,9 @@ class Backup:
             raise ValueError("iteration must be >= 0")
         object.__setattr__(self, "state", clone_state(self.state))
         object.__setattr__(self, "nbytes", measured_size(self.state))
+        # Backups are re-sent on every checkpoint transfer: pay the payload
+        # size walk once here rather than on each send.
+        prime_payload_cache(self)
 
     def restore(self) -> Any:
         """A private copy of the stored state, safe to hand to a new task."""

@@ -65,6 +65,19 @@ class Simulator:
             tr.emit(self.now, "des", proc.name, "process_spawn")
         return proc
 
+    def call_later(self, delay: float, fn, *args) -> Timeout:
+        """Schedule a bare callback ``fn(*args)`` after ``delay`` seconds.
+
+        A lightweight alternative to spawning a :class:`Process` for
+        straight-line deferred work (e.g. a message delivery): one heap
+        entry, no generator, no initialize/completion events.  The
+        callback runs with ``now`` advanced to the fire time, exactly like
+        a process resumed by a :class:`Timeout` of the same delay.
+        """
+        ev = Timeout(self, delay)
+        ev.callbacks.append(lambda _ev: fn(*args))
+        return ev
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 

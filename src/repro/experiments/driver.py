@@ -82,6 +82,9 @@ def run_poisson_on_p2p(
     convergence_threshold: float = 1e-6,
     collect: bool = True,
     warm_start: bool = False,
+    use_cache: bool = True,
+    inner_tol: float = 1e-10,
+    inner_max_iter: int | None = None,
     tracer: Tracer | None = None,
 ) -> RunResult:
     """Run the paper's experiment once.
@@ -95,6 +98,10 @@ def run_poisson_on_p2p(
     run only (the churn-calibration pre-run stays untraced, so the trace
     describes exactly one execution) and populates
     :attr:`RunResult.run_report`.
+
+    ``use_cache=False`` forces every task through the legacy (allocating)
+    decomposition and inner-solve paths — the benchmark's bypass arm; the
+    numerical results and simulated time are identical either way.
     """
     if peers < 1:
         raise ValueError("peers must be >= 1")
@@ -112,7 +119,8 @@ def run_poisson_on_p2p(
             config=config, n_daemons=n_daemons, n_superpeers=n_superpeers,
             link_scale=link_scale, horizon=horizon,
             convergence_threshold=convergence_threshold, collect=False,
-            warm_start=warm_start,
+            warm_start=warm_start, use_cache=use_cache,
+            inner_tol=inner_tol, inner_max_iter=inner_max_iter,
         )
         if not calibration.converged:
             return calibration
@@ -133,6 +141,9 @@ def run_poisson_on_p2p(
         overlap=overlap,
         convergence_threshold=convergence_threshold,
         warm_start=warm_start,
+        use_cache=use_cache,
+        inner_tol=inner_tol,
+        inner_max_iter=inner_max_iter,
     )
     spawner = launch_application(cluster, app)
 

@@ -209,14 +209,16 @@ class Network:
         self.in_flight += 1  # counted from send: later sends see this one
         if self.in_flight > self.peak_in_flight:
             self.peak_in_flight = self.in_flight
-        self.sim.process(self._deliver(msg, delay), label=f"net:{msg.msg_id}")
+        # One heap entry per transfer instead of a full delivery process
+        # (init event + generator + completion event): same fire time, same
+        # execution order among same-time deliveries (monotone sequence
+        # numbers), a third of the kernel work per message.
+        self.sim.call_later(delay, self._deliver, msg)
         return msg
 
-    def _deliver(self, msg: Message, delay: float):
-        try:
-            yield self.sim.timeout(delay)
-        finally:
-            self.in_flight -= 1
+    def _deliver(self, msg: Message) -> None:
+        """Complete one transfer: runs at send time + link delay."""
+        self.in_flight -= 1
         if not self.reachable(msg.src.host, msg.dst.host):
             self.dropped_partition += 1
             self._trace_drop(msg, "partition")

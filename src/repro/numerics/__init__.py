@@ -27,8 +27,20 @@ from repro.numerics.matrix import (
     spectral_radius,
     async_convergence_radius,
 )
-from repro.numerics.cg import conjugate_gradient, CgResult
-from repro.numerics.splitting import BlockDecomposition, BlockInfo
+from repro.numerics.cg import (
+    conjugate_gradient,
+    CgResult,
+    CgOperator,
+    block_operator,
+    csr_matvec_into,
+)
+from repro.numerics.splitting import (
+    BlockDecomposition,
+    BlockInfo,
+    DecompositionCache,
+    DECOMPOSITION_CACHE,
+    shared_decomposition,
+)
 from repro.numerics.jacobi import (
     block_jacobi,
     chaotic_block_jacobi,
@@ -48,8 +60,14 @@ __all__ = [
     "async_convergence_radius",
     "conjugate_gradient",
     "CgResult",
+    "CgOperator",
+    "block_operator",
+    "csr_matvec_into",
     "BlockDecomposition",
     "BlockInfo",
+    "DecompositionCache",
+    "DECOMPOSITION_CACHE",
+    "shared_decomposition",
     "block_jacobi",
     "chaotic_block_jacobi",
     "JacobiResult",

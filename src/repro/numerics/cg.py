@@ -6,6 +6,23 @@ an **estimated flop count**, which is what the simulator charges as compute
 time for a daemon's local solve — so a larger local block really does take
 proportionally longer simulated time, reproducing the paper's ratio (4)
 (compute-per-iteration / communication-per-iteration) mechanics.
+
+Two execution paths produce **bitwise-identical** results:
+
+* :func:`conjugate_gradient` — the original allocating loop (kept verbatim
+  as the reference implementation and the benchmark's cache-bypass arm);
+* :class:`CgOperator` — per-matrix cached state (raw CSR arrays, Jacobi
+  diagonal, preallocated work vectors) whose :meth:`CgOperator.solve` runs
+  the same arithmetic without per-call allocations.  Identical floating
+  point operations in identical order ⇒ identical iterates, iteration
+  counts, residuals and flop charges — simulated time cannot change.
+
+:meth:`CgOperator.solve_direct` additionally offers an opt-in cached
+LU-factorization path (``scipy.sparse.linalg.splu``) for small blocks.  It
+returns the same :class:`CgResult` record with an honest direct-solve flop
+estimate, but it is a *different numerical method* (different round-off,
+iteration count 1), so it is never enabled by default and is excluded from
+bitwise comparisons.
 """
 
 from __future__ import annotations
@@ -17,7 +34,14 @@ import scipy.sparse as sp
 
 from repro.errors import ConvergenceError
 
-__all__ = ["CgResult", "conjugate_gradient", "cg_flops_estimate"]
+try:  # scipy's C matvec kernel: y += A @ x without allocating
+    from scipy.sparse._sparsetools import csr_matvec as _csr_matvec
+except ImportError:  # pragma: no cover - scipy layout change
+    _csr_matvec = None
+
+__all__ = ["CgResult", "conjugate_gradient", "cg_flops_estimate",
+           "CgOperator", "block_operator", "csr_matvec_into",
+           "direct_flops_estimate"]
 
 
 @dataclass
@@ -35,6 +59,26 @@ class CgResult:
 def cg_flops_estimate(nnz: int, nrows: int, iterations: int) -> float:
     """Standard per-iteration cost: one matvec (2·nnz) + 5 vector ops (10·n)."""
     return float(iterations) * (2.0 * nnz + 10.0 * nrows) + 2.0 * nnz
+
+
+def direct_flops_estimate(nnz_lu: int, nrows: int) -> float:
+    """Forward+backward triangular solve: ~2 flops per stored LU entry."""
+    return 2.0 * float(nnz_lu) + 2.0 * float(nrows)
+
+
+def csr_matvec_into(A: sp.csr_matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out = A @ x`` without allocating, bitwise-identical to ``A @ x``.
+
+    scipy's ``@`` allocates a zero vector and accumulates with the same C
+    kernel; calling the kernel on a zeroed caller buffer performs the exact
+    same floating-point operations.
+    """
+    if _csr_matvec is None:  # pragma: no cover - scipy layout change
+        np.copyto(out, A @ x)
+        return out
+    out[:] = 0.0
+    _csr_matvec(A.shape[0], A.shape[1], A.indptr, A.indices, A.data, x, out)
+    return out
 
 
 def conjugate_gradient(
@@ -131,3 +175,193 @@ def conjugate_gradient(
         flops=cg_flops_estimate(A.nnz, nrows, it),
         residual_history=history,
     )
+
+
+class CgOperator:
+    """Per-matrix cached solver state.
+
+    Holds the CSR arrays, the (lazily computed) Jacobi diagonal, a lazily
+    cached LU factorization, and preallocated work vectors, so repeated
+    solves against the same matrix allocate only their output ``x``.
+
+    The solve arithmetic replicates :func:`conjugate_gradient` operation by
+    operation (same kernels, same order), so results are bitwise identical
+    — callers may switch between the two freely without perturbing
+    simulated time.  Work buffers are scratch only: no state survives a
+    solve, so one operator may serve many tasks sequentially.
+    """
+
+    def __init__(self, A: sp.spmatrix):
+        A = A.tocsr() if sp.issparse(A) else sp.csr_matrix(A)
+        if A.shape[0] != A.shape[1]:
+            raise ValueError("A must be square")
+        self.A = A
+        self.n = A.shape[0]
+        self.nnz = A.nnz
+        n = self.n
+        self._r = np.empty(n)
+        self._p = np.empty(n)
+        self._Ap = np.empty(n)
+        self._tmp = np.empty(n)
+        self._z: np.ndarray | None = None  # allocated on first preconditioned solve
+        self._inv_diag: np.ndarray | None = None
+        self._lu = None
+        self._lu_nnz = 0
+
+    # -- cached pieces -------------------------------------------------------
+
+    @property
+    def inv_diag(self) -> np.ndarray:
+        if self._inv_diag is None:
+            d = self.A.diagonal()
+            if (d <= 0).any():
+                raise ValueError("Jacobi preconditioner needs a positive diagonal")
+            self._inv_diag = 1.0 / d
+        return self._inv_diag
+
+    def factorization(self):
+        """The cached ``splu`` factorization (built on first use)."""
+        if self._lu is None:
+            from scipy.sparse.linalg import splu
+
+            self._lu = splu(self.A.tocsc())
+            self._lu_nnz = int(self._lu.L.nnz + self._lu.U.nnz)
+        return self._lu
+
+    def matvec(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out = A @ x`` into a caller buffer (bitwise-identical)."""
+        return csr_matvec_into(self.A, x, out)
+
+    # -- solves --------------------------------------------------------------
+
+    def solve(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        tol: float = 1e-10,
+        max_iter: int | None = None,
+        jacobi_precondition: bool = False,
+        raise_on_fail: bool = False,
+        keep_history: bool = False,
+    ) -> CgResult:
+        """CG solve, bitwise-identical to :func:`conjugate_gradient`."""
+        n = self.n
+        if b.shape != (n,):
+            raise ValueError(f"b has shape {b.shape}, expected ({n},)")
+        if max_iter is None:
+            max_iter = max(10 * n, 100)
+
+        x = np.zeros(n) if x0 is None else np.array(x0, dtype=float, copy=True)
+        if x.shape != (n,):
+            raise ValueError("x0 shape mismatch")
+
+        b_norm = float(np.sqrt(b.dot(b)))
+        stop = tol * b_norm if b_norm > 0 else tol
+
+        r, p, Ap, tmp = self._r, self._p, self._Ap, self._tmp
+        if x0 is None:
+            # r = b - A @ 0: elementwise b[i] - 0.0 == b[i] bitwise.
+            np.copyto(r, b)
+        else:
+            self.matvec(x, Ap)
+            np.subtract(b, Ap, out=r)
+
+        precond = jacobi_precondition
+        if precond:
+            inv_d = self.inv_diag
+            if self._z is None:
+                self._z = np.empty(n)
+            z = self._z
+            np.multiply(inv_d, r, out=z)
+            rz = float(r.dot(z))
+            res = float(np.sqrt(r.dot(r)))
+        else:
+            z = r  # the identity preconditioner aliases z to r
+            rz = float(r.dot(r))
+            res = float(np.sqrt(rz))
+        np.copyto(p, z)
+        history = [res] if keep_history else []
+
+        it = 0
+        while res > stop and it < max_iter:
+            self.matvec(p, Ap)
+            pAp = float(p.dot(Ap))
+            if pAp <= 0.0:
+                if raise_on_fail:
+                    raise ConvergenceError("CG breakdown: non-positive curvature")
+                break
+            alpha = rz / pAp
+            # x += alpha * p ; r -= alpha * Ap  (via the scratch buffer)
+            np.multiply(p, alpha, out=tmp)
+            np.add(x, tmp, out=x)
+            np.multiply(Ap, alpha, out=tmp)
+            np.subtract(r, tmp, out=r)
+            if precond:
+                res = float(np.sqrt(r.dot(r)))
+                np.multiply(inv_d, r, out=z)
+                rz_new = float(r.dot(z))
+            else:
+                rz_new = float(r.dot(r))
+                res = float(np.sqrt(rz_new))
+            if keep_history:
+                history.append(res)
+            beta = rz_new / rz if rz > 0 else 0.0
+            # p = z + beta * p: scale-then-add reads z (== r unpreconditioned)
+            np.multiply(p, beta, out=p)
+            np.add(p, z, out=p)
+            rz = rz_new
+            it += 1
+
+        converged = res <= stop
+        if not converged and raise_on_fail:
+            raise ConvergenceError(
+                f"CG did not converge in {max_iter} iterations (residual {res:.3e})"
+            )
+        return CgResult(
+            x=x,
+            converged=converged,
+            iterations=it,
+            residual_norm=res,
+            flops=cg_flops_estimate(self.nnz, n, it),
+            residual_history=history,
+        )
+
+    def solve_direct(self, b: np.ndarray, tol: float = 1e-10) -> CgResult:
+        """Solve via the cached LU factorization (opt-in, small blocks).
+
+        A different numerical method than CG: one triangular solve pair,
+        different round-off.  The returned :class:`CgResult` reports
+        ``iterations=1`` and an honest direct-solve flop estimate, so the
+        simulator's compute-time model stays meaningful — but enabling this
+        path *does* change iteration counts and simulated time relative to
+        CG, which is why it is never a default.
+        """
+        lu = self.factorization()
+        x = lu.solve(b)
+        # honest convergence diagnostics: one extra (uncharged) matvec
+        self.matvec(x, self._Ap)
+        np.subtract(b, self._Ap, out=self._r)
+        res = float(np.sqrt(self._r.dot(self._r)))
+        b_norm = float(np.sqrt(b.dot(b)))
+        stop = tol * b_norm if b_norm > 0 else tol
+        return CgResult(
+            x=x,
+            converged=res <= stop,
+            iterations=1,
+            residual_norm=res,
+            flops=direct_flops_estimate(self._lu_nnz, self.n),
+            residual_history=[],
+        )
+
+
+def block_operator(blk) -> CgOperator:
+    """The cached :class:`CgOperator` for a decomposition block.
+
+    Stored in the block's ``op_cache`` slot, so every task (and every churn
+    replacement) mapped onto the same shared block reuses one operator.
+    """
+    op = blk.op_cache.get("cg")
+    if op is None:
+        op = CgOperator(blk.A_local)
+        blk.op_cache["cg"] = op
+    return op

@@ -8,10 +8,12 @@ from typing import Any, Callable
 
 from repro.net.address import Address
 
-__all__ = ["remote", "is_remote", "CallMessage", "ReplyMessage", "OnewayMessage"]
+__all__ = ["remote", "is_remote", "remote_method_table", "CallMessage",
+           "ReplyMessage", "OnewayMessage"]
 
 _REMOTE_ATTR = "__rmi_remote__"
 _call_ids = itertools.count()
+_remote_tables: dict[type, frozenset] = {}
 
 
 def remote(fn: Callable) -> Callable:
@@ -27,6 +29,26 @@ def remote(fn: Callable) -> Callable:
 
 def is_remote(fn: Callable) -> bool:
     return getattr(fn, _REMOTE_ATTR, False)
+
+
+def remote_method_table(cls: type) -> frozenset:
+    """The exported-method names of ``cls``, computed once per class.
+
+    Replaces the per-dispatch ``dir()`` walk + ``@remote`` re-check: classes
+    are static after definition, so the table is built on first use and
+    cached for the life of the process.
+    """
+    table = _remote_tables.get(cls)
+    if table is None:
+        table = frozenset(
+            name
+            for name in dir(cls)
+            if not name.startswith("_")
+            and callable(getattr(cls, name, None))
+            and is_remote(getattr(cls, name))
+        )
+        _remote_tables[cls] = table
+    return table
 
 
 @dataclass

@@ -23,7 +23,12 @@ from repro.errors import NetworkError, RemoteError
 from repro.net.address import Address
 from repro.net.host import Host
 from repro.net.network import Network
-from repro.rmi.invocation import CallMessage, OnewayMessage, ReplyMessage, is_remote
+from repro.rmi.invocation import (
+    CallMessage,
+    OnewayMessage,
+    ReplyMessage,
+    remote_method_table,
+)
 from repro.rmi.stub import Stub
 from repro.util.logging import EventLog
 
@@ -44,14 +49,7 @@ class RemoteObject:
 
     def exported_methods(self) -> list[str]:
         """Names of the methods callable through a stub (marked @remote)."""
-        out = []
-        for name in dir(self):
-            if name.startswith("_"):
-                continue
-            attr = getattr(type(self), name, None)
-            if callable(attr) and is_remote(attr):
-                out.append(name)
-        return out
+        return sorted(remote_method_table(type(self)))
 
 
 class RmiRuntime:
@@ -75,6 +73,9 @@ class RmiRuntime:
         self.log = log
         self.call_timeout = call_timeout
         self._objects: dict[str, RemoteObject] = {}
+        #: resolved bound methods, keyed by (object_name, method); serving
+        #: and unserving invalidate it.  Error paths are never cached.
+        self._method_cache: dict[tuple[str, str], Any] = {}
         self._pending: dict[int, Event] = {}
         self.calls_sent = 0
         self.calls_served = 0
@@ -93,6 +94,7 @@ class RmiRuntime:
 
     def unserve(self, object_name: str) -> None:
         self._objects.pop(object_name, None)
+        self._method_cache.clear()
 
     def stub_for(self, object_name: str) -> Stub:
         if object_name not in self._objects:
@@ -208,13 +210,16 @@ class RmiRuntime:
             event.fail(exc)
 
     def _resolve(self, object_name: str, method: str):
+        fn = self._method_cache.get((object_name, method))
+        if fn is not None:
+            return fn
         obj = self._objects.get(object_name)
         if obj is None:
             raise RemoteError(f"no object {object_name!r} exported at {self.address}")
-        fn = getattr(obj, method, None)
-        cls_fn = getattr(type(obj), method, None)
-        if fn is None or cls_fn is None or not is_remote(cls_fn):
+        if method not in remote_method_table(type(obj)):
             raise RemoteError(f"{object_name}.{method} is not a remote method")
+        fn = getattr(obj, method)
+        self._method_cache[(object_name, method)] = fn
         return fn
 
     def _on_call(self, call: CallMessage) -> None:

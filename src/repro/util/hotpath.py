@@ -1,0 +1,82 @@
+"""Process-wide hot-path switches and cache registry.
+
+The perf-sensitive layers (decomposition memo in
+:mod:`repro.numerics.splitting`, the message size-accounting fast path in
+:mod:`repro.util.serialization`) read these flags at call time.  Everything
+they gate is *bitwise-neutral*: enabling or disabling a flag never changes
+simulated time, iteration counts or numerical results — only wall-clock
+cost.  That invariant is what :mod:`benchmarks.bench_hotpath` and the
+cache-correctness tests assert.
+
+:func:`hotpath_disabled` is the cache-bypass lever: inside the context every
+flag is off and every registered cache is cleared on entry *and* exit, so a
+bypass run can never observe state built by a cached run (and vice versa).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["HOTPATH", "HotpathFlags", "hotpath_disabled", "register_cache",
+           "clear_caches"]
+
+
+@dataclass
+class HotpathFlags:
+    """Mutable process-wide switches for the wall-clock fast paths."""
+
+    #: memoize :class:`~repro.numerics.splitting.BlockDecomposition` builds
+    #: (shared, immutable operators across tasks and recoveries)
+    decomposition_cache: bool = True
+    #: per-block cached CSR arrays / Jacobi diagonal / CG work vectors
+    operator_cache: bool = True
+    #: fast type-dispatched ``measured_size`` with per-instance memoization
+    #: for frozen (immutable) dataclasses
+    size_memo: bool = True
+
+    def set_all(self, enabled: bool) -> None:
+        self.decomposition_cache = enabled
+        self.operator_cache = enabled
+        self.size_memo = enabled
+
+
+#: The process-wide switch block.  Library code reads attributes at call
+#: time, so flipping a flag takes effect immediately.
+HOTPATH = HotpathFlags()
+
+#: Clear-callbacks of every process-wide cache keyed by these flags.
+_cache_clearers: list[Callable[[], None]] = []
+
+
+def register_cache(clear: Callable[[], None]) -> Callable[[], None]:
+    """Register a cache's ``clear`` callable; returns it unchanged."""
+    _cache_clearers.append(clear)
+    return clear
+
+
+def clear_caches() -> None:
+    """Drop every registered process-wide cache (decompositions, memos)."""
+    for clear in _cache_clearers:
+        clear()
+
+
+@contextmanager
+def hotpath_disabled():
+    """Run with every hot-path flag off and all shared caches empty.
+
+    This is the benchmark's cache-bypass arm and the test suite's isolation
+    lever.  Caches are cleared again on exit so subsequent cached runs start
+    cold too — keeping A/B comparisons symmetric.
+    """
+    saved = (HOTPATH.decomposition_cache, HOTPATH.operator_cache,
+             HOTPATH.size_memo)
+    HOTPATH.set_all(False)
+    clear_caches()
+    try:
+        yield HOTPATH
+    finally:
+        (HOTPATH.decomposition_cache, HOTPATH.operator_cache,
+         HOTPATH.size_memo) = saved
+        clear_caches()

@@ -5,6 +5,20 @@ provides the size-accounting used by the RMI layer, plus deep-copy helpers
 for checkpoint state (a Backup must be an immutable snapshot, not an alias of
 the live task state — otherwise later iterations would silently corrupt old
 checkpoints, breaking rollback).
+
+``measured_size`` runs on **every** message send, so it has two
+value-identical implementations:
+
+* the legacy ``isinstance``-cascade walk (reference semantics, and the
+  benchmark's cache-bypass arm);
+* a fast path dispatching on exact types, caching ``dataclasses.fields``
+  per class, and memoizing the computed payload size per *instance* for
+  frozen (immutable) dataclasses — stubs, addresses and checkpoint Backups
+  are measured once and re-sent many times.
+
+The fast path is gated by :data:`repro.util.hotpath.HOTPATH.size_memo`; both
+paths charge exactly the same bytes for the same payload, so simulated time
+(link delays are a function of size) is unaffected by the switch.
 """
 
 from __future__ import annotations
@@ -16,11 +30,22 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["measured_size", "clone_state"]
+from repro.util.hotpath import HOTPATH, register_cache
+
+__all__ = ["measured_size", "clone_state", "prime_payload_cache"]
 
 # Fixed protocol overhead charged per message, in bytes.  Roughly a TCP/IP +
 # RMI envelope; the exact constant only shifts latency curves uniformly.
 ENVELOPE_BYTES = 256
+
+#: instance attribute holding a frozen dataclass's memoized payload size
+_SIZE_ATTR = "_measured_payload_cache"
+
+# per-class metadata for the fast path: field-name tuple and frozen-ness
+_fields_by_class: dict[type, tuple[str, ...]] = {}
+_frozen_by_class: dict[type, bool] = {}
+register_cache(_fields_by_class.clear)
+register_cache(_frozen_by_class.clear)
 
 
 def measured_size(obj: Any) -> int:
@@ -30,12 +55,13 @@ def measured_size(obj: Any) -> int:
     ship) without actually pickling them — important because the simulator
     calls this on every message send.
     """
-    size = ENVELOPE_BYTES
-    size += _payload_size(obj, depth=0)
-    return size
+    if HOTPATH.size_memo:
+        return ENVELOPE_BYTES + _payload_size_fast(obj, 0)
+    return ENVELOPE_BYTES + _payload_size(obj, depth=0)
 
 
 def _payload_size(obj: Any, depth: int) -> int:
+    """Reference implementation: the original isinstance cascade."""
     if obj is None:
         return 1
     if isinstance(obj, np.ndarray):
@@ -69,6 +95,81 @@ def _payload_size(obj: Any, depth: int) -> int:
     if isinstance(nbytes, (int, np.integer)):
         return int(nbytes)
     return _pickle_size(obj)
+
+
+def _register_dataclass(cls: type) -> tuple[str, ...] | None:
+    if not dataclasses.is_dataclass(cls):
+        return None
+    names = tuple(f.name for f in dataclasses.fields(cls))
+    _fields_by_class[cls] = names
+    _frozen_by_class[cls] = bool(cls.__dataclass_params__.frozen)
+    return names
+
+
+def _payload_size_fast(obj: Any, depth: int) -> int:
+    """Exact-type dispatch, charging the same bytes as :func:`_payload_size`.
+
+    Frozen dataclasses are memoized per instance (their fields cannot be
+    rebound, and by convention their contents are immutable snapshots —
+    stubs, addresses, Backups).  Memoized sizes are computed with a fresh
+    depth budget; payloads never approach the depth-6 pickle fallback, so
+    the charge is identical to the reference walk.
+    """
+    if obj is None:
+        return 1
+    cls = obj.__class__
+    if cls is float or cls is int or cls is bool:
+        return 8
+    if cls is str:
+        return len(obj.encode("utf-8", errors="replace"))
+    if cls is np.ndarray:
+        return int(obj.nbytes) + 96
+    if cls is list or cls is tuple or cls is set or cls is frozenset:
+        if depth > 6:
+            return _pickle_size(obj)
+        d = depth + 1
+        return 16 + sum(_payload_size_fast(x, d) for x in obj)
+    if cls is dict:
+        if depth > 6:
+            return _pickle_size(obj)
+        d = depth + 1
+        return 16 + sum(
+            _payload_size_fast(k, d) + _payload_size_fast(v, d)
+            for k, v in obj.items()
+        )
+    names = _fields_by_class.get(cls)
+    if names is None:
+        names = _register_dataclass(cls)
+    if names is not None:
+        if _frozen_by_class[cls]:
+            cached = getattr(obj, _SIZE_ATTR, None)
+            if cached is not None:
+                return cached
+            d = depth + 1
+            size = 32 + sum(
+                _payload_size_fast(getattr(obj, nm), d) for nm in names
+            )
+            try:
+                object.__setattr__(obj, _SIZE_ATTR, size)
+            except AttributeError:  # __slots__ dataclass: skip the memo
+                pass
+            return size
+        d = depth + 1
+        return 32 + sum(_payload_size_fast(getattr(obj, nm), d) for nm in names)
+    # Rare/odd types (numpy scalars, subclasses, nbytes-carriers, pickle
+    # fallback): defer to the reference cascade for identical charges.
+    return _payload_size(obj, depth)
+
+
+def prime_payload_cache(obj: Any) -> None:
+    """Precompute a frozen dataclass's memoized payload size (optional).
+
+    Lets long-lived immutable payloads (e.g. checkpoint Backups) pay the
+    size walk at construction time instead of on the send path.  A no-op
+    when the fast path is disabled.
+    """
+    if HOTPATH.size_memo:
+        _payload_size_fast(obj, 0)
 
 
 def _pickle_size(obj: Any) -> int:

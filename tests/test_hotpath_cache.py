@@ -1,0 +1,374 @@
+"""Tests for the hot-path caches: decomposition sharing, cached inner
+solves, size memoization — and the bitwise-identity guarantees that make
+them invisible to simulated time."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.net.address import Address
+from repro.numerics import (
+    BlockDecomposition,
+    CgOperator,
+    Poisson2D,
+    block_operator,
+    conjugate_gradient,
+    csr_matvec_into,
+    shared_decomposition,
+)
+from repro.numerics.residual import update_distance
+from repro.numerics.splitting import DECOMPOSITION_CACHE
+from repro.rmi.invocation import is_remote, remote_method_table
+from repro.rmi.runtime import RemoteObject
+from repro.rmi.stub import Stub
+from repro.util.hotpath import HOTPATH, clear_caches, hotpath_disabled
+from repro.util.serialization import _payload_size, measured_size
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _same_csr(a, b):
+    assert a.shape == b.shape
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.data, b.data)
+
+
+# --------------------------------------------------- fast vs legacy builds
+
+
+@pytest.mark.parametrize("n,nblocks,overlap", [
+    (8, 1, 0), (8, 3, 0), (9, 3, 1), (12, 4, 2), (10, 2, 2), (12, 12, 0),
+])
+def test_fast_build_matches_legacy(n, nblocks, overlap):
+    prob = Poisson2D.manufactured(n)
+    fast = BlockDecomposition(prob.A, prob.b, nblocks=nblocks, line=n,
+                              overlap=overlap, build="fast")
+    legacy = BlockDecomposition(prob.A, prob.b, nblocks=nblocks, line=n,
+                                overlap=overlap, build="legacy")
+    for bf, bl in zip(fast.blocks, legacy.blocks):
+        assert (bf.own_start, bf.own_end, bf.ext_start, bf.ext_end) == \
+               (bl.own_start, bl.own_end, bl.ext_start, bl.ext_end)
+        _same_csr(bf.A_local, bl.A_local)
+        _same_csr(bf.B_coupling, bl.B_coupling)
+        assert np.array_equal(bf.ext_cols, bl.ext_cols)
+        assert np.array_equal(bf.b_local, bl.b_local)
+        assert sorted(bf.send_map) == sorted(bl.send_map)
+        for k in bf.send_map:
+            assert np.array_equal(bf.send_map[k], bl.send_map[k])
+            assert np.array_equal(bf.send_local[k],
+                                  bf.send_map[k] - bf.ext_start)
+
+
+def test_fast_build_canonicalizes_noncanonical_input():
+    # COO with duplicate entries: fast build must match legacy, which
+    # canonicalizes implicitly through the CSC round-trip.
+    rows = [0, 0, 1, 1, 2, 2, 0]
+    cols = [0, 1, 1, 2, 2, 0, 1]
+    vals = [4.0, -1.0, 4.0, -1.0, 4.0, -1.0, -0.5]
+    A = sp.coo_matrix((vals, (rows, cols)), shape=(3, 3)).tocsr()
+    b = np.array([1.0, 2.0, 3.0])
+    fast = BlockDecomposition(A, b, nblocks=3, build="fast")
+    legacy = BlockDecomposition(A, b, nblocks=3, build="legacy")
+    for bf, bl in zip(fast.blocks, legacy.blocks):
+        _same_csr(bf.A_local, bl.A_local)
+        _same_csr(bf.B_coupling, bl.B_coupling)
+
+
+# ------------------------------------------------------ shared decomposition
+
+
+def _poisson_system(n):
+    prob = Poisson2D.manufactured(n)
+    return lambda: (prob.A, prob.b)
+
+
+def test_shared_decomposition_memoizes():
+    d1 = shared_decomposition(("poisson", 8), _poisson_system(8),
+                              nblocks=2, line=8, overlap=1)
+    d2 = shared_decomposition(("poisson", 8), _poisson_system(8),
+                              nblocks=2, line=8, overlap=1)
+    assert d1 is d2
+    assert DECOMPOSITION_CACHE.hits == 1 and DECOMPOSITION_CACHE.misses == 1
+
+
+def test_shared_decomposition_key_isolation():
+    d1 = shared_decomposition(("poisson", 8), _poisson_system(8),
+                              nblocks=2, line=8)
+    d2 = shared_decomposition(("heat", 8), _poisson_system(8),
+                              nblocks=2, line=8)
+    d3 = shared_decomposition(("poisson", 8), _poisson_system(8),
+                              nblocks=4, line=8)
+    assert d1 is not d2 and d1 is not d3
+    assert len(DECOMPOSITION_CACHE) == 3
+
+
+def test_shared_decomposition_disabled_returns_fresh_unfrozen():
+    d1 = shared_decomposition(("poisson", 8), _poisson_system(8),
+                              nblocks=2, line=8, enabled=False)
+    d2 = shared_decomposition(("poisson", 8), _poisson_system(8),
+                              nblocks=2, line=8, enabled=False)
+    assert d1 is not d2
+    assert len(DECOMPOSITION_CACHE) == 0
+    d1.blocks[0].b_local[0] = 99.0  # unfrozen: writable
+
+
+def test_cached_decomposition_is_frozen():
+    d = shared_decomposition(("poisson", 8), _poisson_system(8),
+                             nblocks=2, line=8, overlap=1)
+    blk = d.blocks[0]
+    with pytest.raises(ValueError):
+        blk.b_local[0] = 1.0
+    with pytest.raises(ValueError):
+        blk.A_local.data[0] = 1.0
+    with pytest.raises(ValueError):
+        blk.ext_cols[0] = 1
+
+
+def test_hotpath_disabled_bypasses_and_clears():
+    d1 = shared_decomposition(("poisson", 8), _poisson_system(8),
+                              nblocks=2, line=8)
+    with hotpath_disabled():
+        assert not HOTPATH.decomposition_cache
+        assert len(DECOMPOSITION_CACHE) == 0  # cleared on entry
+        d2 = shared_decomposition(("poisson", 8), _poisson_system(8),
+                                  nblocks=2, line=8)
+        assert d2 is not d1
+    assert HOTPATH.decomposition_cache
+    d3 = shared_decomposition(("poisson", 8), _poisson_system(8),
+                              nblocks=2, line=8)
+    assert d3 is not d1  # cache cleared again on exit
+
+
+# ----------------------------------------------------------- cached CG
+
+
+def _assert_same_result(res_a, res_b):
+    assert np.array_equal(res_a.x, res_b.x)
+    assert res_a.converged == res_b.converged
+    assert res_a.iterations == res_b.iterations
+    assert res_a.residual_norm == res_b.residual_norm
+    assert res_a.flops == res_b.flops
+    assert res_a.residual_history == res_b.residual_history
+
+
+@pytest.mark.parametrize("precond", [False, True])
+def test_cg_operator_bitwise_cold_start(precond):
+    prob = Poisson2D.manufactured(10)
+    d = BlockDecomposition(prob.A, prob.b, nblocks=3, line=10, overlap=1)
+    for blk in d.blocks:
+        op = CgOperator(blk.A_local)
+        ref = conjugate_gradient(blk.A_local, blk.b_local, tol=1e-8,
+                                 jacobi_precondition=precond,
+                                 keep_history=True)
+        got = op.solve(blk.b_local, tol=1e-8, jacobi_precondition=precond,
+                       keep_history=True)
+        _assert_same_result(got, ref)
+
+
+def test_cg_operator_bitwise_warm_start_and_cap():
+    prob = Poisson2D.manufactured(10)
+    d = BlockDecomposition(prob.A, prob.b, nblocks=2, line=10, overlap=2)
+    blk = d.blocks[1]
+    rng = np.random.default_rng(7)
+    x0 = rng.standard_normal(blk.n_ext)
+    op = CgOperator(blk.A_local)
+    for max_iter in (3, None):
+        ref = conjugate_gradient(blk.A_local, blk.b_local, x0=x0,
+                                 tol=1e-10, max_iter=max_iter)
+        got = op.solve(blk.b_local, x0=x0, tol=1e-10, max_iter=max_iter)
+        _assert_same_result(got, ref)
+
+
+def test_cg_operator_repeated_solves_stay_identical():
+    # Work buffers are scratch: a second solve must not see stale state.
+    prob = Poisson2D.manufactured(8)
+    A = prob.A
+    op = CgOperator(A)
+    ref = conjugate_gradient(A, prob.b, tol=1e-9)
+    first = op.solve(prob.b, tol=1e-9)
+    second = op.solve(prob.b, tol=1e-9)
+    _assert_same_result(first, ref)
+    _assert_same_result(second, ref)
+
+
+def test_csr_matvec_into_matches_matmul():
+    prob = Poisson2D.manufactured(9)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(prob.size)
+    out = np.empty(prob.size)
+    csr_matvec_into(prob.A, x, out)
+    assert np.array_equal(out, prob.A @ x)
+
+
+def test_solve_direct_accuracy_and_flops():
+    prob = Poisson2D.manufactured(8)
+    op = CgOperator(prob.A)
+    res = op.solve_direct(prob.b, tol=1e-10)
+    assert res.converged and res.iterations == 1
+    assert np.allclose(prob.A @ res.x, prob.b, atol=1e-10)
+    assert res.flops > 2.0 * prob.A.nnz  # LU has at least A's fill
+    # the factorization is cached
+    assert op.factorization() is op.factorization()
+
+
+def test_block_operator_cached_per_block():
+    d = shared_decomposition(("poisson", 8), _poisson_system(8),
+                             nblocks=2, line=8)
+    op1 = block_operator(d.blocks[0])
+    op2 = block_operator(d.blocks[0])
+    assert op1 is op2
+    assert block_operator(d.blocks[1]) is not op1
+
+
+def test_local_rhs_out_buffer_bitwise():
+    prob = Poisson2D.manufactured(10)
+    d = BlockDecomposition(prob.A, prob.b, nblocks=3, line=10, overlap=1)
+    rng = np.random.default_rng(1)
+    for k, blk in enumerate(d.blocks):
+        ext = rng.standard_normal(blk.ext_cols.size)
+        buf = np.empty(blk.n_ext)
+        assert np.array_equal(d.local_rhs(k, ext, out=buf),
+                              d.local_rhs(k, ext))
+
+
+def test_update_distance_work_buffer_bitwise():
+    rng = np.random.default_rng(2)
+    a = rng.standard_normal(50)
+    b = a + 1e-7 * rng.standard_normal(50)
+    work = np.empty(50)
+    for rel in (True, False):
+        assert update_distance(b, a, relative=rel, work=work) == \
+               update_distance(b, a, relative=rel)
+
+
+# --------------------------------------------------------- size memoization
+
+
+def _payload_zoo():
+    arr = np.arange(12, dtype=float)
+    addr = Address("host-a", 4)
+    stub = Stub("worker", addr)
+    return [
+        None, True, 3, 2.5, "héllo", b"bytes",
+        arr, [1, 2.0, "x"], (arr, arr), {"k": arr, 2: None},
+        {1, 2, 3}, frozenset({4, 5}),
+        addr, stub, [stub, stub, {"a": addr}],
+        np.float64(1.5),
+    ]
+
+
+def test_fast_size_matches_legacy_for_payload_zoo():
+    for obj in _payload_zoo():
+        fast = measured_size(obj)
+        with hotpath_disabled():
+            legacy = measured_size(obj)
+        assert fast == legacy, f"size mismatch for {obj!r}"
+
+
+def test_frozen_dataclass_size_is_memoized():
+    stub = Stub("worker", Address("host-a", 4))
+    first = measured_size(stub)
+    assert getattr(stub, "_measured_payload_cache", None) is not None
+    assert measured_size(stub) == first
+    # legacy walk agrees with the memoized charge
+    assert first == 256 + _payload_size(stub, depth=0)
+
+
+def test_nonfrozen_dataclass_not_memoized():
+    @dataclasses.dataclass
+    class Mutable:
+        text: str
+
+    m = Mutable("abcd")
+    s1 = measured_size(m)
+    m.text = "abcdefgh"
+    assert measured_size(m) == s1 + 4  # re-measured, not memoized
+
+
+# ----------------------------------------------------- remote method table
+
+
+def test_remote_method_table_matches_dir_walk():
+    from repro.rmi import remote
+
+    class Obj(RemoteObject):
+        @remote
+        def ping(self):
+            return "pong"
+
+        @remote
+        def add(self, a, b):
+            return a + b
+
+        def local_only(self):
+            return None
+
+    legacy = sorted(
+        name for name in dir(Obj)
+        if not name.startswith("_")
+        and callable(getattr(Obj, name, None))
+        and is_remote(getattr(Obj, name))
+    )
+    assert sorted(remote_method_table(Obj)) == legacy == ["add", "ping"]
+    assert Obj().exported_methods() == ["add", "ping"]
+    # cached: same frozenset object on re-query
+    assert remote_method_table(Obj) is remote_method_table(Obj)
+
+
+# ------------------------------------------------------- run-level identity
+
+
+def _run(use_cache, **kw):
+    from repro.experiments.driver import run_poisson_on_p2p
+
+    if use_cache:
+        return run_poisson_on_p2p(use_cache=True, **kw)
+    with hotpath_disabled():
+        return run_poisson_on_p2p(use_cache=False, **kw)
+
+
+def test_run_bitwise_identical_cached_vs_bypass():
+    kw = dict(n=16, peers=3, seed=11, convergence_threshold=1e-6)
+    cached = _run(True, **kw)
+    bypass = _run(False, **kw)
+    assert cached.converged and bypass.converged
+    assert cached.simulated_time == bypass.simulated_time
+    assert cached.total_iterations == bypass.total_iterations
+    assert cached.residual == bypass.residual
+    assert cached == bypass
+
+
+def test_run_with_recovery_uses_shared_decomposition():
+    kw = dict(n=16, peers=3, seed=5, disconnections=1,
+              convergence_threshold=1e-4)
+    cached = _run(True, **kw)
+    assert cached.converged
+    # one build serves all tasks plus the churn replacement
+    assert DECOMPOSITION_CACHE.misses >= 1
+    assert DECOMPOSITION_CACHE.hits >= kw["peers"]
+    bypass = _run(False, **kw)
+    assert bypass.converged
+    assert cached.simulated_time == bypass.simulated_time
+    assert cached.total_iterations == bypass.total_iterations
+
+
+def test_concurrent_apps_get_isolated_cache_entries():
+    # Two different problem keys must never collide, even with identical
+    # block structure.
+    d_poisson = shared_decomposition(("poisson", 8), _poisson_system(8),
+                                     nblocks=2, line=8)
+    prob = Poisson2D.manufactured(8)
+    A2 = (prob.A * 2.0).tocsr()
+    d_other = shared_decomposition(("scaled", 8), lambda: (A2, prob.b),
+                                   nblocks=2, line=8)
+    assert d_other is not d_poisson
+    assert not np.array_equal(d_other.blocks[0].A_local.data,
+                              d_poisson.blocks[0].A_local.data)
