@@ -17,11 +17,11 @@ from repro.experiments.ablations import backup_count_ablation
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_backup_peer_count_survival(benchmark, record_table):
+def test_backup_peer_count_survival(benchmark, record_table, sweep_engine):
     table = benchmark.pedantic(
         lambda: backup_count_ablation(
             counts=(0, 1, 4, 7), n=48, peers=8, disconnections=5,
-            seeds=(0, 1, 2),
+            seeds=(0, 1, 2), engine=sweep_engine,
         ),
         rounds=1,
         iterations=1,

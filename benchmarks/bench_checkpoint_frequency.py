@@ -16,10 +16,11 @@ from repro.experiments.ablations import checkpoint_frequency_ablation
 
 
 @pytest.mark.benchmark(group="ablation")
-def test_checkpoint_frequency_tradeoff(benchmark, record_table):
+def test_checkpoint_frequency_tradeoff(benchmark, record_table, sweep_engine):
     table = benchmark.pedantic(
         lambda: checkpoint_frequency_ablation(
-            frequencies=(1, 2, 5, 10, 20), n=64, peers=8, disconnections=3
+            frequencies=(1, 2, 5, 10, 20), n=64, peers=8, disconnections=3,
+            engine=sweep_engine,
         ),
         rounds=1,
         iterations=1,

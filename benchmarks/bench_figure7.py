@@ -22,13 +22,14 @@ from repro.experiments.plotting import figure7_chart
 
 
 @pytest.mark.benchmark(group="figure7")
-def test_figure7_execution_times(benchmark, record_table):
+def test_figure7_execution_times(benchmark, record_table, sweep_engine):
     result = benchmark.pedantic(
         lambda: figure7_sweep(
             ns=(40, 64, 96, 128),
             disconnections=(0, 2, 4, 6),
             peers=8,
             repeats=1,
+            engine=sweep_engine,
         ),
         rounds=1,
         iterations=1,

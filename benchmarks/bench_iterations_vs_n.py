@@ -21,9 +21,10 @@ from repro.experiments import iterations_vs_n
 
 
 @pytest.mark.benchmark(group="iterations")
-def test_iterations_decrease_with_n(benchmark, record_table):
+def test_iterations_decrease_with_n(benchmark, record_table, sweep_engine):
     result = benchmark.pedantic(
-        lambda: iterations_vs_n(ns=(40, 64, 96, 128), peers=8),
+        lambda: iterations_vs_n(ns=(40, 64, 96, 128), peers=8,
+                                engine=sweep_engine),
         rounds=1,
         iterations=1,
     )

@@ -9,12 +9,27 @@ EXPERIMENTS.md can quote exact regenerated numbers.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def bench_workers() -> int:
+    """Worker count for sweep-shaped benchmarks.
+
+    ``REPRO_SWEEP_WORKERS`` overrides; the default saturates the
+    machine up to 4 processes.  Results are identical for any value —
+    only wall-clock changes.
+    """
+    env = os.environ.get("REPRO_SWEEP_WORKERS")
+    if env:
+        return max(1, int(env))
+    return min(4, len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity")
+               else (os.cpu_count() or 1))
 
 
 @pytest.fixture(scope="session")
@@ -36,18 +51,31 @@ def record_table(results_dir):
 
 @pytest.fixture()
 def record_json(results_dir):
-    """Persist machine-readable results next to the text tables.
+    """Persist machine-readable results.
 
-    Writes ``benchmarks/results/<name>.json``; names starting with
-    ``BENCH_`` are additionally written to the repo root, where CI and the
-    regression checker look for committed baselines.
+    ``BENCH_*`` names are committed regression baselines: they go to ONE
+    canonical location, the repo root, where CI and
+    ``scripts/check_bench_regression.py`` read them.  Everything else
+    lands next to the text tables under ``benchmarks/results/``.
     """
 
     def _record(name: str, payload: dict) -> None:
         text = json.dumps(payload, indent=2, sort_keys=True)
         print("\n" + text)
-        (results_dir / f"{name}.json").write_text(text + "\n")
-        if name.startswith("BENCH_"):
-            (REPO_ROOT / f"{name}.json").write_text(text + "\n")
+        target = REPO_ROOT if name.startswith("BENCH_") else results_dir
+        (target / f"{name}.json").write_text(text + "\n")
 
     return _record
+
+
+@pytest.fixture()
+def sweep_engine():
+    """A parallel, uncached SweepEngine for the sweep-shaped benchmarks.
+
+    No disk cache: a benchmark must measure fresh runs.  Parallelism does
+    not change any result (the engine's arms are bitwise-identical; see
+    ``bench_parallel_sweep.py``), it only shortens the wait.
+    """
+    from repro.exec import SweepEngine
+
+    return SweepEngine(workers=bench_workers())

@@ -1,17 +1,26 @@
 #!/usr/bin/env python
-"""Compare a freshly measured BENCH_*.json against the committed baseline.
+"""Gate freshly measured BENCH_*.json files against committed baselines.
 
 Usage::
 
-    python scripts/check_bench_regression.py BASELINE.json FRESH.json [--max-regression 0.25]
+    # one file pair
+    python scripts/check_bench_regression.py BASELINE.json FRESH.json
 
-The check is ratio-based so it is machine-independent: the *speedup*
-(cached vs bypass, measured on the same machine in the same job) must not
-fall more than ``--max-regression`` below the committed baseline speedup.
-Absolute wall-clock numbers are reported but never gated on — CI runners
-and developer laptops differ; the cached/bypass ratio does not.
+    # every known BENCH_*.json present in both directories
+    python scripts/check_bench_regression.py /tmp/bench-baselines .
 
-Exit status: 0 when within budget, 1 on regression or malformed input.
+Each benchmark file is judged by the per-file metric table below.  Checks
+are ratio-based so they are machine-independent: speedups and overhead
+fractions are measured against a sibling arm in the same job, so CI
+runners and developer laptops agree on them even though absolute
+wall-clocks differ.  A "higher is better" metric must not fall more than
+its allowed fraction below the committed baseline; a "lower is better"
+metric must not rise more than its allowed fraction above it.
+
+``--max-regression`` (compatibility flag) overrides the allowed fraction
+for every gated metric.
+
+Exit status: 0 when all gates pass, 1 on regression or malformed input.
 """
 
 from __future__ import annotations
@@ -19,46 +28,126 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Gate:
+    metric: str
+    higher_is_better: bool
+    #: allowed fractional drift from the baseline value
+    max_regression: float
+    #: for lower-is-better metrics whose baseline can be very small: the
+    #: bound never drops below this absolute value
+    floor: float | None = None
+
+
+#: every gated benchmark artifact and its metrics
+GATES: dict[str, tuple[Gate, ...]] = {
+    # cached-vs-bypass hot-path speedup (benchmarks/bench_hotpath.py)
+    "BENCH_hotpath.json": (Gate("speedup", True, 0.25),),
+    # process-pool sweep + run cache (benchmarks/bench_parallel_sweep.py);
+    # parallel_speedup depends on the runner's core count, hence the wide
+    # allowance; cached_fraction baselines near zero, so it gets the
+    # absolute floor the benchmark itself asserts
+    "BENCH_parallel_sweep.json": (
+        Gate("parallel_speedup", True, 0.35),
+        Gate("cached_fraction", False, 4.0, floor=0.05),
+    ),
+    # disabled-tracer guard cost ratios (benchmarks/bench_obs_overhead.py);
+    # nanosecond-scale timing, so the allowance is deliberately loose —
+    # the hard <5% budget is asserted inside the benchmark itself
+    "BENCH_obs_overhead.json": (
+        Gate("des_guard_over_event", False, 4.0),
+        Gate("rmi_guard_over_call", False, 4.0),
+    ),
+}
+
+
+def check_file(name: str, baseline_path: Path, fresh_path: Path,
+               override: float | None) -> bool:
+    """Apply every gate for ``name``; prints a verdict line per metric."""
+    gates = GATES.get(name)
+    if gates is None:
+        print(f"{name}: no gate registered — skipping")
+        return True
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {name}: {exc}", file=sys.stderr)
+        return False
+
+    ok = True
+    for gate in gates:
+        allowed = override if override is not None else gate.max_regression
+        try:
+            base_value = float(baseline[gate.metric])
+            new_value = float(fresh[gate.metric])
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"error: {name}: metric {gate.metric!r} unreadable: {exc}",
+                  file=sys.stderr)
+            ok = False
+            continue
+        if gate.higher_is_better:
+            bound = (1.0 - allowed) * base_value
+            passed = new_value >= bound
+            relation = ">="
+        else:
+            bound = (1.0 + allowed) * base_value
+            if gate.floor is not None:
+                bound = max(bound, gate.floor)
+            passed = new_value <= bound
+            relation = "<="
+        verdict = "OK" if passed else "REGRESSION"
+        print(f"{name}: {gate.metric} = {new_value:.4g} "
+              f"(baseline {base_value:.4g}, must be {relation} {bound:.4g}) "
+              f"{verdict}")
+        ok = ok and passed
+    return ok
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline", type=Path, help="committed BENCH_*.json")
-    ap.add_argument("fresh", type=Path, help="freshly measured BENCH_*.json")
+    ap.add_argument("baseline", type=Path,
+                    help="committed BENCH_*.json file, or a directory of them")
+    ap.add_argument("fresh", type=Path,
+                    help="freshly measured file/directory")
     ap.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.25,
-        help="allowed fractional speedup drop vs baseline (default 0.25)",
-    )
+        "--max-regression", type=float, default=None,
+        help="override every gate's allowed fractional drift")
     args = ap.parse_args()
 
-    try:
-        baseline = json.loads(args.baseline.read_text())
-        fresh = json.loads(args.fresh.read_text())
-        base_speedup = float(baseline["speedup"])
-        new_speedup = float(fresh["speedup"])
-    except (OSError, KeyError, ValueError, json.JSONDecodeError) as exc:
-        print(f"error: cannot read benchmark results: {exc}", file=sys.stderr)
+    if args.baseline.is_dir() != args.fresh.is_dir():
+        print("error: baseline and fresh must both be files or both be "
+              "directories", file=sys.stderr)
         return 1
 
-    floor = (1.0 - args.max_regression) * base_speedup
-    print(f"baseline speedup: {base_speedup:.2f}x "
-          f"(bypass {baseline.get('wall_seconds_bypass')}s / "
-          f"cached {baseline.get('wall_seconds_cached')}s)")
-    print(f"fresh speedup:    {new_speedup:.2f}x "
-          f"(bypass {fresh.get('wall_seconds_bypass')}s / "
-          f"cached {fresh.get('wall_seconds_cached')}s)")
-    print(f"floor:            {floor:.2f}x "
-          f"(max regression {args.max_regression:.0%})")
+    ok = True
+    if args.baseline.is_dir():
+        checked = 0
+        for name in sorted(GATES):
+            base, new = args.baseline / name, args.fresh / name
+            if not base.exists():
+                print(f"{name}: no committed baseline — skipping")
+                continue
+            if not new.exists():
+                print(f"error: {name}: baseline exists but no fresh "
+                      f"measurement at {new}", file=sys.stderr)
+                ok = False
+                continue
+            ok = check_file(name, base, new, args.max_regression) and ok
+            checked += 1
+        if checked == 0 and ok:
+            print("error: no benchmark files gated", file=sys.stderr)
+            ok = False
+    else:
+        ok = check_file(args.fresh.name, args.baseline, args.fresh,
+                        args.max_regression)
 
-    if new_speedup < floor:
-        print("REGRESSION: hot-path speedup dropped below the allowed floor",
-              file=sys.stderr)
-        return 1
-    print("OK")
-    return 0
+    print("OK" if ok else "FAILED")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -3,18 +3,27 @@
 Usage::
 
     python -m repro.cli run --n 48 --peers 8 --disconnections 3
-    python -m repro.cli figure7 [--quick]
+    python -m repro.cli figure7 [--quick] --workers 4
     python -m repro.cli iterations
     python -m repro.cli syncasync --disconnections 3
     python -m repro.cli ablation {checkpoint,backup,overlap,bootstrap}
     python -m repro.cli trace --disconnections 3 --out run.jsonl
     python -m repro.cli report --disconnections 3
+    python -m repro.cli cache {stats,clear}
 
 Every subcommand prints the same table its benchmark counterpart records
 under ``benchmarks/results/``.  ``trace`` and ``report`` run a single
 traced execution through :mod:`repro.obs`: ``trace`` dumps the structured
 event stream (JSONL and/or Chrome ``trace_event`` JSON for
 ``chrome://tracing`` / Perfetto), ``report`` renders the run report.
+
+The sweep-shaped subcommands (``run``, ``figure7``, ``iterations``,
+``syncasync``, ``ablation``) execute through :class:`repro.exec.SweepEngine`:
+``--workers N`` fans independent runs out over N processes, and completed
+runs are memoized in the content-addressed on-disk cache (``--cache-dir``,
+default ``~/.cache/repro``; ``--no-cache`` disables it).  Results are
+identical for any worker count and for cached replay.  ``cache`` inspects
+(``stats``) or empties (``clear``) that cache.
 """
 
 from __future__ import annotations
@@ -22,10 +31,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.exec import RunCache, RunSpec, SweepEngine, default_cache_dir
 from repro.experiments import (
     figure7_sweep,
     iterations_vs_n,
-    run_poisson_on_p2p,
     sync_vs_async,
 )
 from repro.experiments.ablations import (
@@ -46,7 +55,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="one Poisson execution on the P2P runtime")
+    # execution flags shared by every sweep-shaped subcommand
+    exec_flags = argparse.ArgumentParser(add_help=False)
+    exec_flags.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run independent executions on N processes (default 1: serial)")
+    exec_flags.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=f"run-cache directory (default {default_cache_dir()})")
+    exec_flags.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk run cache")
+
+    run = sub.add_parser("run", parents=[exec_flags],
+                         help="one Poisson execution on the P2P runtime")
     run.add_argument("--n", type=int, default=48, help="grid size (system is n^2)")
     run.add_argument("--peers", type=int, default=8)
     run.add_argument("--disconnections", type=int, default=0)
@@ -56,7 +78,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--csv", metavar="PATH", default=None,
                      help="also write the run as a CSV row")
 
-    fig7 = sub.add_parser("figure7", help="the paper's Figure 7 sweep")
+    fig7 = sub.add_parser("figure7", parents=[exec_flags],
+                          help="the paper's Figure 7 sweep")
     fig7.add_argument("--quick", action="store_true",
                       help="2 sizes x 3 churn levels instead of 4 x 4")
     fig7.add_argument("--repeats", type=int, default=1)
@@ -64,7 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--csv", metavar="PATH", default=None,
                       help="also write the aggregated grid as CSV")
 
-    iters = sub.add_parser("iterations", help="claims C1/C3: iteration counts vs n")
+    iters = sub.add_parser("iterations", parents=[exec_flags],
+                           help="claims C1/C3: iteration counts vs n")
     iters.add_argument("--csv", metavar="PATH", default=None)
 
     timeline = sub.add_parser(
@@ -75,14 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--disconnections", type=int, default=3)
     timeline.add_argument("--seed", type=int, default=13)
 
-    sa = sub.add_parser("syncasync", help="claim C4: sync vs async under churn")
+    sa = sub.add_parser("syncasync", parents=[exec_flags],
+                        help="claim C4: sync vs async under churn")
     sa.add_argument("--n", type=int, default=48)
     sa.add_argument("--disconnections", type=int, default=3)
     sa.add_argument("--seed", type=int, default=0)
 
-    ab = sub.add_parser("ablation", help="design-choice ablations A1-A4")
+    ab = sub.add_parser("ablation", parents=[exec_flags],
+                        help="design-choice ablations A1-A4")
     ab.add_argument("which", choices=["checkpoint", "backup", "overlap",
                                       "bootstrap"])
+
+    cache = sub.add_parser("cache", help="inspect or clear the run cache")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help=f"cache directory (default {default_cache_dir()})")
 
     trace = sub.add_parser(
         "trace", help="one traced run: dump the structured event stream"
@@ -109,11 +140,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _engine_from(args) -> SweepEngine:
+    """A SweepEngine configured by the shared --workers/--cache-dir flags."""
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    return SweepEngine(workers=args.workers, cache=cache)
+
+
 def _cmd_run(args) -> int:
-    result = run_poisson_on_p2p(
+    result = _engine_from(args).run(RunSpec(
         n=args.n, peers=args.peers, disconnections=args.disconnections,
         seed=args.seed, overlap=args.overlap, warm_start=args.warm_start,
-    )
+    ))
     row = result.row()
     print(format_table(list(row), [list(row.values())],
                        title="single run (simulated seconds)"))
@@ -129,11 +166,14 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_figure7(args) -> int:
+    engine = _engine_from(args)
     if args.quick:
         result = figure7_sweep(ns=(40, 64), disconnections=(0, 2, 4),
-                               repeats=args.repeats, base_seed=args.seed)
+                               repeats=args.repeats, base_seed=args.seed,
+                               engine=engine)
     else:
-        result = figure7_sweep(repeats=args.repeats, base_seed=args.seed)
+        result = figure7_sweep(repeats=args.repeats, base_seed=args.seed,
+                               engine=engine)
     print(result.format_table())
     from repro.experiments.plotting import figure7_chart
 
@@ -148,7 +188,7 @@ def _cmd_figure7(args) -> int:
 
 
 def _cmd_iterations(args) -> int:
-    result = iterations_vs_n()
+    result = iterations_vs_n(engine=_engine_from(args))
     print(result.format_table())
     if args.csv:
         from repro.experiments.export import ratio_to_csv, write_csv
@@ -206,12 +246,13 @@ def _cmd_timeline(args) -> int:
 
 def _cmd_syncasync(args) -> int:
     result = sync_vs_async(n=args.n, disconnections=args.disconnections,
-                           seed=args.seed)
+                           seed=args.seed, engine=_engine_from(args))
     print(result.format_table())
     return 0
 
 
 def _traced_run(args):
+    from repro.experiments import run_poisson_on_p2p
     from repro.obs import Tracer
 
     tracer = Tracer()
@@ -258,13 +299,31 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_ablation(args) -> int:
-    table = {
+    maker = {
         "checkpoint": checkpoint_frequency_ablation,
         "backup": backup_count_ablation,
         "overlap": overlap_ablation,
         "bootstrap": bootstrap_scaling,
-    }[args.which]()
+    }[args.which]
+    # A3/A4 are not run_poisson_on_p2p sweeps; only A1/A2 take an engine
+    if args.which in ("checkpoint", "backup"):
+        table = maker(engine=_engine_from(args))
+    else:
+        table = maker()
     print(table.format_table())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = RunCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    width = max(len(k) for k in stats)
+    for key, value in stats.items():
+        print(f"{key:>{width}}: {value}")
     return 0
 
 
@@ -279,6 +338,7 @@ def main(argv: list[str] | None = None) -> int:
         "timeline": _cmd_timeline,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

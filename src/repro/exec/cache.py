@@ -1,0 +1,113 @@
+"""The content-addressed on-disk run cache.
+
+One JSON file per completed run, named by :meth:`RunSpec.key`.  Because
+the key already folds in the source-tree fingerprint, a stale entry (from
+older code) can never be *served* — it simply stops being addressed and
+sits on disk until ``repro-cli cache clear``.
+
+Entries store the normalized spec alongside the result, so ``repro-cli
+cache stats`` can describe what is cached and a human can audit any entry
+with a text editor.  Writes are atomic (tempfile + ``os.replace``) so a
+killed sweep never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.exec.spec import RunSpec, code_fingerprint
+
+__all__ = ["RunCache", "default_cache_dir"]
+
+_SUFFIX = ".run.json"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg).expanduser() if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+class RunCache:
+    """Directory of completed :class:`RunResult`\\ s, addressed by spec key."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_dir()
+        #: lookups answered from disk / total lookups, for this instance
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    def get(self, spec: RunSpec):
+        """The cached :class:`RunResult` for ``spec``, or None."""
+        from repro.experiments.driver import RunResult
+
+        try:
+            payload = json.loads(self._path(spec.key()).read_text())
+            result = RunResult.from_dict(payload["result"])
+        except (OSError, KeyError, TypeError, ValueError):
+            # missing entry or an unreadable/foreign file: a plain miss
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result) -> None:
+        spec = spec.normalized()
+        payload = {
+            "fingerprint": code_fingerprint(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(spec.key())
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        os.replace(tmp, path)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _entries(self) -> list[pathlib.Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f"*{_SUFFIX}"))
+
+    def stats(self) -> dict:
+        """Entry count / size on disk plus this instance's hit counters."""
+        entries = self._entries()
+        current = 0
+        fingerprint = code_fingerprint()
+        for path in entries:
+            try:
+                if json.loads(path.read_text()).get("fingerprint") == fingerprint:
+                    current += 1
+            except (OSError, ValueError):
+                pass
+        return {
+            "dir": str(self.root),
+            "entries": len(entries),
+            "entries_current_code": current,
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,185 @@
+"""Content-addressed run specifications.
+
+A :class:`RunSpec` freezes one :func:`~repro.experiments.driver.run_poisson_on_p2p`
+call: same fields, same defaults, same semantics.  Two things make it more
+than a kwargs bundle:
+
+* :meth:`RunSpec.normalized` resolves every derived default (optimal
+  overlap, daemon population, the experiment config) exactly the way the
+  driver would, so specs that *mean* the same run *are* the same record;
+* :meth:`RunSpec.key` is a stable SHA-256 content address over the
+  normalized fields plus :func:`code_fingerprint` — a digest of the
+  ``repro`` source tree — so results cached on disk are never served
+  across a code change.
+
+``tracer`` deliberately has no field: a live :class:`~repro.obs.Tracer`
+cannot cross a process boundary.  ``traced=True`` instead makes the worker
+build its own tracer and ship the condensed
+:class:`~repro.obs.RunReport` back inside the :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import pathlib
+from dataclasses import asdict, dataclass, fields, replace
+
+from repro.p2p.config import P2PConfig
+
+# NOTE: repro.experiments.config is imported lazily (inside normalized())
+# because the experiments package itself imports repro.exec — the None
+# sentinels below mean "the driver's default", resolved at normalization.
+
+__all__ = ["RunSpec", "code_fingerprint"]
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 digest (16 hex chars) of every ``.py`` file under ``repro``.
+
+    Computed once per process; baked into every :meth:`RunSpec.key` so a
+    source change silently invalidates all previously cached results.
+    """
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Every argument of ``run_poisson_on_p2p``, as a frozen value object."""
+
+    n: int
+    peers: int = 8
+    disconnections: int = 0
+    seed: int = 0
+    overlap: int | None = None
+    config: P2PConfig | None = None
+    n_daemons: int | None = None
+    n_superpeers: int = 3
+    churn_window: float | None = None
+    reconnect_delay: float | None = None
+    link_scale: float | None = None
+    horizon: float = 900.0
+    convergence_threshold: float = 1e-6
+    collect: bool = True
+    warm_start: bool = False
+    use_cache: bool = True
+    inner_tol: float = 1e-10
+    inner_max_iter: int | None = None
+    #: run with a worker-local tracer and ship the RunReport back
+    traced: bool = False
+
+    # -- normalization --------------------------------------------------------
+
+    def normalized(self) -> "RunSpec":
+        """Resolve derived defaults the way the driver would.
+
+        Mirrors :func:`run_poisson_on_p2p` exactly: ``config or
+        EXPERIMENT_CONFIG``, half-width optimal overlap, ``peers +
+        max(3, peers // 2)`` daemons.  Normalizing is what makes the
+        churn-free calibration spec of every churn level collide on the
+        same cache key.
+        """
+        from repro.experiments.config import (
+            EXPERIMENT_CONFIG,
+            EXPERIMENT_LINK_SCALE,
+            RECONNECT_DELAY,
+            optimal_overlap,
+        )
+
+        changes: dict = {}
+        if self.config is None:
+            changes["config"] = EXPERIMENT_CONFIG
+        if self.overlap is None:
+            changes["overlap"] = optimal_overlap(self.n, self.peers)
+        if self.n_daemons is None:
+            changes["n_daemons"] = self.peers + max(3, self.peers // 2)
+        if self.reconnect_delay is None:
+            changes["reconnect_delay"] = RECONNECT_DELAY
+        if self.link_scale is None:
+            changes["link_scale"] = EXPERIMENT_LINK_SCALE
+        return replace(self, **changes) if changes else self
+
+    def needs_calibration(self) -> bool:
+        """True when the driver would do a churn-free pre-run to size the
+        churn window."""
+        return self.disconnections > 0 and self.churn_window is None
+
+    def calibration_spec(self) -> "RunSpec":
+        """The churn-free pre-run the driver performs for this spec."""
+        return replace(
+            self, disconnections=0, collect=False, traced=False
+        ).normalized()
+
+    # -- content address ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dump (``config`` flattened to its fields)."""
+        out = asdict(self)
+        if self.config is not None:
+            out["config"] = asdict(self.config)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        data = dict(data)
+        if data.get("config") is not None:
+            data["config"] = P2PConfig(**data["config"])
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def key(self) -> str:
+        """Stable 32-hex-char content address of the *normalized* spec.
+
+        Covers every field and the :func:`code_fingerprint`; computed via
+        canonical JSON so it is identical across processes and sessions
+        (no reliance on ``hash()``).
+        """
+        payload = self.normalized().to_dict()
+        payload["__fingerprint__"] = code_fingerprint()
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self):
+        """Run this spec in the current process (the engine's unit of work)."""
+        from repro.experiments.driver import run_poisson_on_p2p
+
+        self = self.normalized()
+        tracer = None
+        if self.traced:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+        return run_poisson_on_p2p(
+            n=self.n,
+            peers=self.peers,
+            disconnections=self.disconnections,
+            seed=self.seed,
+            overlap=self.overlap,
+            config=self.config,
+            n_daemons=self.n_daemons,
+            n_superpeers=self.n_superpeers,
+            churn_window=self.churn_window,
+            reconnect_delay=self.reconnect_delay,
+            link_scale=self.link_scale,
+            horizon=self.horizon,
+            convergence_threshold=self.convergence_threshold,
+            collect=self.collect,
+            warm_start=self.warm_start,
+            use_cache=self.use_cache,
+            inner_tol=self.inner_tol,
+            inner_max_iter=self.inner_max_iter,
+            tracer=tracer,
+        )

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.exec import RunSpec, SweepEngine
 from repro.experiments.config import EXPERIMENT_CONFIG, EXPERIMENT_LINK_SCALE
-from repro.experiments.driver import run_poisson_on_p2p
 from repro.experiments.report import format_table
 from repro.numerics import BlockDecomposition, Poisson2D, block_jacobi
 from repro.p2p import build_cluster
@@ -45,19 +45,23 @@ def checkpoint_frequency_ablation(
     peers: int = 8,
     disconnections: int = 3,
     seed: int = 0,
+    engine: SweepEngine | None = None,
 ) -> AblationTable:
     """A1: total time, checkpoint traffic and recovery distance vs k."""
+    engine = engine if engine is not None else SweepEngine()
     table = AblationTable(
         title=f"A1: checkpoint frequency (n={n}, {disconnections} disconnections)",
         headers=["k", "time", "checkpoints sent", "recoveries",
                  "restarts@0", "residual ok"],
     )
-    for k in frequencies:
-        config = EXPERIMENT_CONFIG.with_(checkpoint_frequency=k)
-        run = run_poisson_on_p2p(
+    runs = engine.map(
+        RunSpec(
             n=n, peers=peers, disconnections=disconnections, seed=seed,
-            config=config,
+            config=EXPERIMENT_CONFIG.with_(checkpoint_frequency=k),
         )
+        for k in frequencies
+    )
+    for k, run in zip(frequencies, runs):
         table.rows.append([
             k,
             run.simulated_time,
@@ -75,27 +79,34 @@ def backup_count_ablation(
     peers: int = 8,
     disconnections: int = 5,
     seeds=(0, 1, 2),
+    engine: SweepEngine | None = None,
 ) -> AblationTable:
     """A2: survival of checkpoints vs the number of backup-peers.
 
     Heavy churn; a restart-from-zero happens when every guardian of a task
     has failed (or nobody guards it at all, count=0).
     """
+    engine = engine if engine is not None else SweepEngine()
     table = AblationTable(
         title=f"A2: backup-peer count (n={n}, {disconnections} disconnections, "
               f"{len(seeds)} seeds)",
         headers=["backup peers", "mean time", "recoveries",
                  "restarts@0", "restart@0 rate"],
     )
+    grid = [(count, seed) for count in counts for seed in seeds]
+    runs = dict(zip(grid, engine.map(
+        RunSpec(
+            n=n, peers=peers, disconnections=disconnections, seed=seed,
+            config=EXPERIMENT_CONFIG.with_(backup_count=count,
+                                           checkpoint_frequency=2),
+            collect=False,
+        )
+        for (count, seed) in grid
+    )))
     for count in counts:
-        config = EXPERIMENT_CONFIG.with_(backup_count=count,
-                                         checkpoint_frequency=2)
         times, recov, scratch = [], 0, 0
         for seed in seeds:
-            run = run_poisson_on_p2p(
-                n=n, peers=peers, disconnections=disconnections, seed=seed,
-                config=config, collect=False,
-            )
+            run = runs[(count, seed)]
             if run.converged:
                 times.append(run.simulated_time)
             recov += run.recoveries

@@ -26,7 +26,27 @@ from repro.obs import RunReport, Tracer, build_run_report
 from repro.p2p import P2PConfig, build_cluster, launch_application
 from repro.util.rng import RngTree
 
-__all__ = ["RunResult", "run_poisson_on_p2p"]
+__all__ = ["RunResult", "run_poisson_on_p2p", "RUN_COUNTER"]
+
+
+class _RunCounter:
+    """Counts :func:`run_poisson_on_p2p` invocations in this process.
+
+    The sweep engine's cache tests assert "a cache hit performs zero
+    simulation work" against this counter.  Per-process: pool workers
+    count their own runs.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def bump(self) -> None:
+        self.count += 1
+
+
+RUN_COUNTER = _RunCounter()
 
 
 @dataclass
@@ -64,6 +84,30 @@ class RunResult:
             "residual": self.residual,
             "recoveries": self.recoveries,
         }
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-ready dump (inverse of :meth:`from_dict`).
+
+        The sweep engine ships results across process boundaries and the
+        run cache stores them on disk in exactly this form; floats survive
+        bit-for-bit (JSON round-trips Python floats exactly via repr).
+        """
+        out = {
+            f.name: getattr(self, f.name)
+            for f in self.__dataclass_fields__.values()
+            if f.name != "run_report"
+        }
+        out["run_report"] = (
+            self.run_report.to_dict() if self.run_report is not None else None
+        )
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        data = dict(data)
+        if data.get("run_report") is not None:
+            data["run_report"] = RunReport.from_dict(data["run_report"])
+        return cls(**data)
 
 
 def run_poisson_on_p2p(
@@ -103,6 +147,7 @@ def run_poisson_on_p2p(
     decomposition and inner-solve paths — the benchmark's bypass arm; the
     numerical results and simulated time are identical either way.
     """
+    RUN_COUNTER.bump()
     if peers < 1:
         raise ValueError("peers must be >= 1")
     if disconnections < 0:

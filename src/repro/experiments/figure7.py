@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.driver import RunResult, run_poisson_on_p2p
+from repro.exec import RunSpec, SweepEngine
+from repro.experiments.driver import RunResult
 from repro.experiments.report import format_table
 from repro.p2p.config import P2PConfig
 
@@ -73,40 +74,50 @@ def figure7_sweep(
     base_seed: int = 0,
     config: P2PConfig | None = None,
     horizon: float = 900.0,
+    engine: SweepEngine | None = None,
 ) -> Figure7Result:
     """Run the whole sweep.  The churn-free run of each (n, seed) also
     provides the churn window for that n (disconnections happen "during
-    the execution")."""
+    the execution"): the engine content-addresses that calibration run, so
+    it is computed once per (n, seed) and shared by every churn level.
+
+    ``engine`` selects execution: the default is serial and uncached
+    (bitwise-identical to the historical in-loop version); pass
+    ``SweepEngine(workers=4, cache=RunCache())`` for a process pool with
+    the on-disk run cache.
+    """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    engine = engine if engine is not None else SweepEngine()
     result = Figure7Result(
         ns=tuple(ns),
         disconnections=tuple(disconnections),
         peers=peers,
         repeats=repeats,
     )
-    for n in ns:
-        base_times: dict[int, float] = {}
-        for d in disconnections:
-            times = []
-            for r in range(repeats):
-                seed = base_seed + 1000 * r
-                window = base_times.get(r)
-                run = run_poisson_on_p2p(
-                    n=n,
-                    peers=peers,
-                    disconnections=d,
-                    seed=seed,
-                    config=config,
-                    churn_window=window,
-                    horizon=horizon,
-                    collect=False,
-                )
-                result.runs.append(run)
-                if run.converged:
-                    times.append(run.simulated_time)
-                    if d == 0:
-                        base_times[r] = run.simulated_time
-            if times:
-                result.times[(n, d)] = sum(times) / len(times)
+    grid = [
+        (n, d, r)
+        for n in ns
+        for d in disconnections
+        for r in range(repeats)
+    ]
+    runs = engine.map(
+        RunSpec(
+            n=n,
+            peers=peers,
+            disconnections=d,
+            seed=base_seed + 1000 * r,
+            config=config,
+            horizon=horizon,
+            collect=False,
+        )
+        for (n, d, r) in grid
+    )
+    cells: dict[tuple[int, int], list[float]] = {}
+    for (n, d, _r), run in zip(grid, runs):
+        result.runs.append(run)
+        if run.converged:
+            cells.setdefault((n, d), []).append(run.simulated_time)
+    for (n, d), times in cells.items():
+        result.times[(n, d)] = sum(times) / len(times)
     return result

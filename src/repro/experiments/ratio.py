@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.exec import RunSpec, SweepEngine
 from repro.experiments.config import optimal_overlap
-from repro.experiments.driver import run_poisson_on_p2p
 from repro.experiments.report import format_table
 from repro.numerics import BlockDecomposition, Poisson2D, block_jacobi
 
@@ -67,14 +67,19 @@ def iterations_vs_n(
     seed: int = 0,
     tol: float = 1e-6,
     horizon: float = 900.0,
+    engine: SweepEngine | None = None,
 ) -> RatioResult:
+    engine = engine if engine is not None else SweepEngine()
     result = RatioResult(ns=tuple(ns), peers=peers)
-    for n in ns:
-        overlap = optimal_overlap(n, peers)
-        run = run_poisson_on_p2p(
-            n=n, peers=peers, seed=seed, overlap=overlap,
+    runs = engine.map(
+        RunSpec(
+            n=n, peers=peers, seed=seed, overlap=optimal_overlap(n, peers),
             convergence_threshold=tol, horizon=horizon, collect=False,
         )
+        for n in ns
+    )
+    for n, run in zip(ns, runs):
+        overlap = optimal_overlap(n, peers)
         prob = Poisson2D.manufactured(n)
         decomp = BlockDecomposition(prob.A, prob.b, nblocks=peers, line=n,
                                     overlap=overlap)

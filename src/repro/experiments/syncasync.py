@@ -18,13 +18,13 @@ from repro.apps import make_poisson_app
 from repro.baselines import SynchronousEngine
 from repro.churn import ChurnInjector, TraceChurn
 from repro.des import Simulator
+from repro.exec import RunSpec, SweepEngine
 from repro.experiments.config import (
     EXPERIMENT_CONFIG,
     EXPERIMENT_LINK_SCALE,
     RECONNECT_DELAY,
     optimal_overlap,
 )
-from repro.experiments.driver import run_poisson_on_p2p
 from repro.experiments.report import format_table
 from repro.net.topology import build_testbed
 from repro.util.rng import RngTree
@@ -68,18 +68,22 @@ def sync_vs_async(
     disconnections: int = 3,
     seed: int = 0,
     horizon: float = 900.0,
+    engine: SweepEngine | None = None,
 ) -> SyncAsyncResult:
     config = EXPERIMENT_CONFIG
+    engine = engine if engine is not None else SweepEngine()
 
     # ---- asynchronous run, recording the executed churn trace -------------
     # (driver-level rerun so we can reach into the injector: replicate the
     # driver's churn wiring here)
     from repro.p2p import build_cluster, launch_application
 
-    calibration = run_poisson_on_p2p(
+    # engine-routed: the churn-free window calibration is the same spec the
+    # Figure-7 grid's d=0 cell uses, so a shared cache serves it for free
+    calibration = engine.run(RunSpec(
         n=n, peers=peers, disconnections=0, seed=seed, config=config,
         horizon=horizon, collect=False,
-    )
+    ))
     window = calibration.simulated_time or horizon
 
     cluster = build_cluster(

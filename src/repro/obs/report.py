@@ -44,6 +44,43 @@ class RunReport:
     #: exact per-``(category, kind)`` trace counts (empty without a tracer)
     event_counts: dict = field(default_factory=dict)
 
+    # -- transport ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless JSON-ready dump (inverse of :meth:`from_dict`).
+
+        Tuple-keyed ``event_counts`` become ``"category/kind"`` strings;
+        :class:`~repro.p2p.telemetry.RecoveryRecord` entries become field
+        dicts.  Used by the run cache and the sweep engine's cross-process
+        transport.
+        """
+        from dataclasses import asdict as _asdict
+
+        out = _asdict(self)
+        out["recoveries"] = [
+            rec if isinstance(rec, dict) else _asdict(rec)
+            for rec in self.recoveries
+        ]
+        out["event_counts"] = {
+            f"{category}/{kind}": count
+            for (category, kind), count in self.event_counts.items()
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        from repro.p2p.telemetry import RecoveryRecord
+
+        data = dict(data)
+        data["recoveries"] = [
+            RecoveryRecord(**rec) for rec in data.get("recoveries", ())
+        ]
+        data["event_counts"] = {
+            tuple(name.split("/", 1)): count
+            for name, count in data.get("event_counts", {}).items()
+        }
+        return cls(**data)
+
     # -- rendering ------------------------------------------------------------
 
     def _rows(self) -> list[tuple[str, str]]:

@@ -5,6 +5,12 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache(tmp_path, monkeypatch):
+    """Keep CLI runs (which cache by default) out of ~/.cache/repro."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "run-cache"))
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
@@ -98,6 +104,42 @@ def test_cli_report_markdown(capsys):
     assert rc == 0
     assert "# Run report" in out
     assert "| metric | value |" in out
+
+
+def test_cli_run_populates_cache_and_cache_stats(tmp_path, capsys):
+    cache_dir = tmp_path / "cli-cache"
+    args = ["--n", "24", "--peers", "3", "--cache-dir", str(cache_dir)]
+    assert main(["run", *args]) == 0
+    capsys.readouterr()
+
+    rc = main(["cache", "stats", "--cache-dir", str(cache_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "entries: 1" in out
+    assert str(cache_dir) in out
+
+    rc = main(["cache", "clear", "--cache-dir", str(cache_dir)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "removed 1 cached run(s)" in out
+    main(["cache", "stats", "--cache-dir", str(cache_dir)])
+    assert "entries: 0" in capsys.readouterr().out
+
+
+def test_cli_run_no_cache_writes_nothing(tmp_path, capsys):
+    cache_dir = tmp_path / "cli-cache"
+    rc = main(["run", "--n", "24", "--peers", "3", "--no-cache",
+               "--cache-dir", str(cache_dir)])
+    assert rc == 0
+    assert not list(cache_dir.glob("*.run.json")) if cache_dir.exists() else True
+
+
+def test_cli_run_workers_flag_parses(capsys):
+    # workers > 1 with a single spec falls back to in-process execution
+    rc = main(["run", "--n", "24", "--peers", "3", "--workers", "2",
+               "--no-cache"])
+    assert rc == 0
+    assert "single run" in capsys.readouterr().out
 
 
 def test_cli_timeline(capsys):
