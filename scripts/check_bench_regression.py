@@ -62,6 +62,12 @@ GATES: dict[str, tuple[Gate, ...]] = {
         Gate("des_guard_over_event", False, 4.0),
         Gate("rmi_guard_over_call", False, 4.0),
     ),
+    # armed-but-idle fault plan vs plain run (benchmarks/bench_faults.py);
+    # the baseline hovers around zero, so the gate is the absolute 5%
+    # budget the benchmark itself asserts rather than a relative drift
+    "BENCH_faults.json": (
+        Gate("overhead_fraction", False, 4.0, floor=0.05),
+    ),
 }
 
 

@@ -1,20 +1,28 @@
-"""The failure injector: a simulation process that executes a churn schedule.
+"""The churn injector: now a thin front-end over the fault plane.
 
-For each :class:`~repro.churn.models.ChurnEvent` it fails a victim host
-(interrupting its Daemon and destroying its mailboxes) and schedules the
-recovery ``duration`` seconds later, after which the host's ``on_recover``
-hooks re-boot a fresh Daemon that re-registers with the Super-Peer network —
-the full disconnection/reconnection cycle of §7.
+Historically this module owned the whole failure machinery; PR 5 moved
+execution into :class:`repro.faults.FaultInjector` and left churn as what
+it always really was — *one axis* of the fault plane: daemon crashes on a
+stochastic schedule.  :class:`ChurnInjector` translates a
+:class:`~repro.churn.models.ChurnModel` schedule into a
+:class:`~repro.faults.FaultPlan` of pinned-time
+:class:`~repro.faults.DaemonCrash` actions and delegates.
 
-The injector records what it actually did as a :class:`TraceChurn`-able
-event list, so a run can be replayed against a different engine (the
-sync-vs-async ablation depends on this).
+Compatibility is bit-exact: the schedule comes from ``rng.child("schedule")``
+and victims from ``rng.child("victim", <events so far>)``, the same draws as
+the original implementation, so every pre-fault-plane experiment replays
+with identical victims, and the log keeps the ``disconnect`` / ``reconnect``
+kinds the timeline renderer understands.
 """
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 from repro.churn.models import ChurnEvent, ChurnModel
 from repro.des import Simulator
+from repro.faults.actions import DaemonCrash
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.net.host import Host
 from repro.util.logging import EventLog
 from repro.util.rng import RngTree
@@ -40,7 +48,7 @@ class ChurnInjector:
         disconnection of *computing* peers); when no host passes the
         filter, selection falls back to any alive host."""
         if not hosts:
-            raise ValueError("need at least one victim host")
+            raise ConfigurationError("need at least one victim host")
         self.sim = sim
         self.hosts = list(hosts)
         self.model = model
@@ -48,48 +56,39 @@ class ChurnInjector:
         self.log = log
         self.victim_filter = victim_filter
         self.schedule = model.schedule(rng.child("schedule"), horizon)
-        self.executed: list[ChurnEvent] = []
-        self.skipped = 0  # events with no alive victim available
-        self.process = sim.process(self._run(), label="churn-injector")
+        self.plan = FaultPlan(
+            actions=tuple(
+                DaemonCrash(time=event.time, host=event.host,
+                            downtime=event.duration)
+                for event in self.schedule
+            ),
+            name="churn",
+        )
+        self._injector = FaultInjector(
+            sim,
+            self.plan,
+            rng=rng,
+            hosts=self.hosts,
+            log=log,
+            log_entity="churn",
+            victim_filter=victim_filter,
+        ) if self.plan else None
+        self.process = self._injector.process if self._injector else None
 
-    def _pick_victim(self, event: ChurnEvent) -> Host | None:
-        if event.host is not None:
-            host = next((h for h in self.hosts if h.name == event.host), None)
-            return host if host is not None and host.online else None
-        alive = [h for h in self.hosts if h.online]
-        if not alive:
-            return None
-        if self.victim_filter is not None:
-            preferred = [h for h in alive if self.victim_filter(h)]
-            if preferred:
-                alive = preferred
-        return self.rng.child("victim", len(self.executed) + self.skipped).choice(alive)
+    @property
+    def executed(self) -> list[ChurnEvent]:
+        """What actually happened, in the historical ChurnEvent shape."""
+        if self._injector is None:
+            return []
+        return [
+            ChurnEvent(rec.time, rec.detail["downtime"], rec.detail["host"])
+            for rec in self._injector.executed
+        ]
 
-    def _run(self):
-        for event in self.schedule:
-            delay = event.time - self.sim.now
-            if delay > 0:
-                yield self.sim.timeout(delay)
-            victim = self._pick_victim(event)
-            if victim is None:
-                self.skipped += 1
-                if self.log is not None:
-                    self.log.emit(self.sim.now, "churn", "churn_skipped")
-                continue
-            victim.fail(cause="churn")
-            self.executed.append(ChurnEvent(self.sim.now, event.duration, victim.name))
-            if self.log is not None:
-                self.log.emit(self.sim.now, "churn", "disconnect",
-                              host=victim.name, duration=event.duration)
-            self.sim.process(self._recover_later(victim, event.duration),
-                             label=f"churn-recover:{victim.name}")
-
-    def _recover_later(self, host: Host, duration: float):
-        yield self.sim.timeout(duration)
-        host.recover()
-        if self.log is not None:
-            self.log.emit(self.sim.now, "churn", "reconnect", host=host.name)
+    @property
+    def skipped(self) -> int:
+        return self._injector.skipped if self._injector else 0
 
     @property
     def disconnections(self) -> int:
-        return len(self.executed)
+        return len(self._injector.executed) if self._injector else 0

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.util.rng import RngTree
 
 __all__ = [
@@ -30,7 +31,7 @@ class ChurnEvent:
 
     def __post_init__(self) -> None:
         if self.time < 0 or self.duration <= 0:
-            raise ValueError("time must be >= 0 and duration > 0")
+            raise ConfigurationError("time must be >= 0 and duration > 0")
 
 
 class ChurnModel:
@@ -64,15 +65,15 @@ class PaperChurn(ChurnModel):
 
     def __post_init__(self) -> None:
         if self.n_disconnections < 0:
-            raise ValueError("n_disconnections must be >= 0")
+            raise ConfigurationError("n_disconnections must be >= 0")
         if self.reconnect_delay <= 0:
-            raise ValueError("reconnect_delay must be positive")
+            raise ConfigurationError("reconnect_delay must be positive")
         if not 0.0 <= self.start_fraction < self.end_fraction <= 1.0:
-            raise ValueError("need 0 <= start_fraction < end_fraction <= 1")
+            raise ConfigurationError("need 0 <= start_fraction < end_fraction <= 1")
 
     def schedule(self, rng: RngTree, horizon: float) -> list[ChurnEvent]:
         if horizon <= 0:
-            raise ValueError("horizon must be positive")
+            raise ConfigurationError("horizon must be positive")
         lo = self.start_fraction * horizon
         hi = self.end_fraction * horizon
         times = sorted(
@@ -93,11 +94,11 @@ class PoissonChurn(ChurnModel):
 
     def __post_init__(self) -> None:
         if self.rate < 0 or self.mean_downtime <= 0:
-            raise ValueError("rate must be >= 0, mean_downtime > 0")
+            raise ConfigurationError("rate must be >= 0, mean_downtime > 0")
 
     def schedule(self, rng: RngTree, horizon: float) -> list[ChurnEvent]:
         if horizon <= 0:
-            raise ValueError("horizon must be positive")
+            raise ConfigurationError("horizon must be positive")
         events: list[ChurnEvent] = []
         t = 0.0
         arrival = rng.child("arrivals")

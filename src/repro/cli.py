@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli ablation {checkpoint,backup,overlap,bootstrap}
     python -m repro.cli trace --disconnections 3 --out run.jsonl
     python -m repro.cli report --disconnections 3
+    python -m repro.cli faults list
+    python -m repro.cli faults run perfect-storm --quick
     python -m repro.cli cache {stats,clear}
 
 Every subcommand prints the same table its benchmark counterpart records
@@ -18,7 +20,8 @@ event stream (JSONL and/or Chrome ``trace_event`` JSON for
 ``chrome://tracing`` / Perfetto), ``report`` renders the run report.
 
 The sweep-shaped subcommands (``run``, ``figure7``, ``iterations``,
-``syncasync``, ``ablation``) execute through :class:`repro.exec.SweepEngine`:
+``syncasync``, ``ablation``, ``faults run``) execute through
+:class:`repro.exec.SweepEngine`:
 ``--workers N`` fans independent runs out over N processes, and completed
 runs are memoized in the content-addressed on-disk cache (``--cache-dir``,
 default ``~/.cache/repro``; ``--no-cache`` disables it).  Results are
@@ -109,6 +112,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="design-choice ablations A1-A4")
     ab.add_argument("which", choices=["checkpoint", "backup", "overlap",
                                       "bootstrap"])
+
+    from repro.faults import scenario_names
+
+    faults = sub.add_parser(
+        "faults", help="scenario-driven fault-plane runs (repro.faults)"
+    )
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+    fsub.add_parser("list", help="catalogue of named fault scenarios")
+    frun = fsub.add_parser(
+        "run", parents=[exec_flags],
+        help="run one scenario end-to-end and report what happened")
+    frun.add_argument("scenario", nargs="?", default="perfect-storm",
+                      choices=scenario_names(),
+                      help="named scenario (default: perfect-storm)")
+    frun.add_argument("--n", type=int, default=48, help="grid size (system is n^2)")
+    frun.add_argument("--peers", type=int, default=6)
+    frun.add_argument("--seed", type=int, default=0)
+    frun.add_argument("--quick", action="store_true",
+                      help="small problem (n=32, peers=4) for smoke tests")
+    frun.add_argument("--report", action="store_true",
+                      help="trace the run and render its run report")
 
     cache = sub.add_parser("cache", help="inspect or clear the run cache")
     cache.add_argument("action", choices=["stats", "clear"])
@@ -314,6 +338,36 @@ def _cmd_ablation(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import SCENARIOS, scenario
+
+    if args.faults_command == "list":
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            description, plan = SCENARIOS[name]
+            kinds = ", ".join(sorted({a.kind for a in plan.actions}))
+            print(f"{name:>{width}}: {description}")
+            print(f"{'':>{width}}  [{len(plan)} action(s): {kinds}]")
+        return 0
+
+    n, peers = (32, 4) if args.quick else (args.n, args.peers)
+    spec = RunSpec(n=n, peers=peers, seed=args.seed,
+                   faults=scenario(args.scenario), traced=args.report)
+    result = _engine_from(args).run(spec)
+    row = result.row()
+    row["faults"] = result.faults_executed
+    row["corrupted"] = result.messages_corrupted
+    print(format_table(list(row), [list(row.values())],
+                       title=f"fault scenario {args.scenario!r}"))
+    if args.report and result.run_report is not None:
+        print()
+        print(result.run_report.to_text())
+    if not result.converged:
+        print("WARNING: did not converge within the horizon", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = RunCache(args.cache_dir)
     if args.action == "clear":
@@ -338,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
         "timeline": _cmd_timeline,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "faults": _cmd_faults,
         "cache": _cmd_cache,
     }[args.command]
     return handler(args)

@@ -12,6 +12,15 @@ class ReproError(Exception):
     """Base class for every exception raised by the repro library."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """Invalid argument or configuration value handed to a repro API.
+
+    Derives from :class:`ValueError` as well, so historical ``except
+    ValueError`` call sites (and tests) keep working while new code can
+    catch the whole library with ``except ReproError``.
+    """
+
+
 class SimulationError(ReproError):
     """Raised for misuse of the discrete-event kernel (e.g. scheduling an
     event in the past, resuming a dead process)."""
@@ -71,3 +80,8 @@ class TaskError(ReproError):
 class NotSupportedError(ReproError):
     """The requested operation is not expressible in the chosen model (e.g.
     inter-task communication under the master-slave baseline)."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed or cannot be executed against the target
+    deployment (e.g. a Super-Peer action without a cluster)."""

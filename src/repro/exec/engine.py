@@ -37,6 +37,7 @@ randomization.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
 import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -89,7 +90,7 @@ class SweepEngine:
         registry: MetricsRegistry | None = None,
     ):
         if workers < 1:
-            raise ValueError("workers must be >= 1")
+            raise ConfigurationError("workers must be >= 1")
         self.workers = int(workers)
         self.cache = cache
         self.registry = registry if registry is not None else MetricsRegistry()

@@ -26,6 +26,7 @@ import json
 import pathlib
 from dataclasses import asdict, dataclass, fields, replace
 
+from repro.faults.plan import FaultPlan
 from repro.p2p.config import P2PConfig
 
 # NOTE: repro.experiments.config is imported lazily (inside normalized())
@@ -76,6 +77,9 @@ class RunSpec:
     use_cache: bool = True
     inner_tol: float = 1e-10
     inner_max_iter: int | None = None
+    #: scheduled fault scenario (:class:`repro.faults.FaultPlan`) executed
+    #: alongside the run; seeded from ``seed`` like everything else
+    faults: FaultPlan | None = None
     #: run with a worker-local tracer and ship the RunReport back
     traced: bool = False
 
@@ -116,9 +120,13 @@ class RunSpec:
         return self.disconnections > 0 and self.churn_window is None
 
     def calibration_spec(self) -> "RunSpec":
-        """The churn-free pre-run the driver performs for this spec."""
+        """The fault-free pre-run the driver performs for this spec.
+
+        Strips churn *and* the fault plan: the calibration measures the
+        undisturbed convergence time that sizes the churn window.
+        """
         return replace(
-            self, disconnections=0, collect=False, traced=False
+            self, disconnections=0, collect=False, traced=False, faults=None
         ).normalized()
 
     # -- content address ------------------------------------------------------
@@ -128,6 +136,9 @@ class RunSpec:
         out = asdict(self)
         if self.config is not None:
             out["config"] = asdict(self.config)
+        # asdict() loses the actions' class identity (their ``kind`` tag is
+        # a ClassVar); FaultPlan.to_dict keeps it.
+        out["faults"] = self.faults.to_dict() if self.faults is not None else None
         return out
 
     @classmethod
@@ -135,6 +146,8 @@ class RunSpec:
         data = dict(data)
         if data.get("config") is not None:
             data["config"] = P2PConfig(**data["config"])
+        if data.get("faults") is not None:
+            data["faults"] = FaultPlan.from_dict(data["faults"])
         known = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 
@@ -152,34 +165,25 @@ class RunSpec:
 
     # -- execution ------------------------------------------------------------
 
-    def execute(self):
-        """Run this spec in the current process (the engine's unit of work)."""
-        from repro.experiments.driver import run_poisson_on_p2p
+    def run(self, tracer=None):
+        """Execute this spec in the current process — THE run entrypoint.
 
-        self = self.normalized()
+        Everything that executes a run goes through here: the sweep
+        engine's workers, the CLI, and the legacy keyword form of
+        :func:`~repro.experiments.driver.run_poisson_on_p2p` (which merely
+        assembles a spec and calls back in).  ``tracer`` is a live
+        :class:`~repro.obs.Tracer` for in-process observation; use
+        ``traced=True`` instead when the run crosses a process boundary.
+        """
+        from repro.experiments.driver import execute_spec
+
+        return execute_spec(self, tracer=tracer)
+
+    def execute(self):
+        """Run this spec honouring ``traced`` (the engine's unit of work)."""
         tracer = None
         if self.traced:
             from repro.obs import Tracer
 
             tracer = Tracer()
-        return run_poisson_on_p2p(
-            n=self.n,
-            peers=self.peers,
-            disconnections=self.disconnections,
-            seed=self.seed,
-            overlap=self.overlap,
-            config=self.config,
-            n_daemons=self.n_daemons,
-            n_superpeers=self.n_superpeers,
-            churn_window=self.churn_window,
-            reconnect_delay=self.reconnect_delay,
-            link_scale=self.link_scale,
-            horizon=self.horizon,
-            convergence_threshold=self.convergence_threshold,
-            collect=self.collect,
-            warm_start=self.warm_start,
-            use_cache=self.use_cache,
-            inner_tol=self.inner_tol,
-            inner_max_iter=self.inner_max_iter,
-            tracer=tracer,
-        )
+        return self.run(tracer=tracer)

@@ -1,36 +1,39 @@
 """The single-run driver: one Poisson execution on the P2P runtime.
 
-:func:`run_poisson_on_p2p` is the atom every experiment is built from: it
+The unit of work is a :class:`~repro.exec.spec.RunSpec`: :func:`execute_spec`
 assembles a cluster, launches the paper's application, optionally injects
-the paper's churn protocol (random disconnections of computing peers,
-reconnect after a fixed delay), drives the simulation to global convergence
-and returns a fully populated :class:`RunResult`.
+churn (the paper's random disconnections of computing peers) and/or a
+:class:`~repro.faults.FaultPlan` scenario, drives the simulation to global
+convergence and returns a fully populated :class:`RunResult`.
+
+:func:`run_poisson_on_p2p` survives as the friendly front door: call it with
+``spec=`` (preferred) or with the historical keyword arguments, which it
+folds into a ``RunSpec`` and runs — one code path either way.  A drift test
+pins the keyword surface to the spec's fields, so the two forms cannot
+diverge silently.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.apps import make_poisson_app
-from repro.churn import ChurnInjector, NoChurn, PaperChurn
-from repro.experiments.config import (
-    EXPERIMENT_CONFIG,
-    EXPERIMENT_LINK_SCALE,
-    RECONNECT_DELAY,
-    optimal_overlap,
-)
+from repro.churn import ChurnInjector, PaperChurn
+from repro.errors import ConfigurationError
+from repro.exec.spec import RunSpec
+from repro.faults import FaultInjector, FaultPlan
 from repro.numerics import Poisson2D
 from repro.obs import RunReport, Tracer, build_run_report
 from repro.p2p import P2PConfig, build_cluster, launch_application
 from repro.util.rng import RngTree
 
-__all__ = ["RunResult", "run_poisson_on_p2p", "RUN_COUNTER"]
+__all__ = ["RunResult", "run_poisson_on_p2p", "execute_spec", "RUN_COUNTER"]
 
 
 class _RunCounter:
-    """Counts :func:`run_poisson_on_p2p` invocations in this process.
+    """Counts driver executions in this process.
 
     The sweep engine's cache tests assert "a cache hit performs zero
     simulation work" against this counter.  Per-process: pool workers
@@ -70,6 +73,10 @@ class RunResult:
     replacements: int
     checkpoints_sent: int
     data_messages: int
+    #: fault-plane actions executed (0 for runs without a fault plan)
+    faults_executed: int = 0
+    #: data payloads corrupted in transit by the fault plane
+    messages_corrupted: int = 0
     #: populated only when the run was traced (``tracer=`` argument)
     run_report: RunReport | None = field(default=None, compare=False)
 
@@ -111,35 +118,47 @@ class RunResult:
 
 
 def run_poisson_on_p2p(
-    n: int,
-    peers: int = 8,
-    disconnections: int = 0,
-    seed: int = 0,
+    n: int | None = None,
+    peers: int | None = None,
+    disconnections: int | None = None,
+    seed: int | None = None,
     overlap: int | None = None,
     config: P2PConfig | None = None,
     n_daemons: int | None = None,
-    n_superpeers: int = 3,
+    n_superpeers: int | None = None,
     churn_window: float | None = None,
-    reconnect_delay: float = RECONNECT_DELAY,
-    link_scale: float = EXPERIMENT_LINK_SCALE,
-    horizon: float = 900.0,
-    convergence_threshold: float = 1e-6,
-    collect: bool = True,
-    warm_start: bool = False,
-    use_cache: bool = True,
-    inner_tol: float = 1e-10,
+    reconnect_delay: float | None = None,
+    link_scale: float | None = None,
+    horizon: float | None = None,
+    convergence_threshold: float | None = None,
+    collect: bool | None = None,
+    warm_start: bool | None = None,
+    use_cache: bool | None = None,
+    inner_tol: float | None = None,
     inner_max_iter: int | None = None,
+    faults: FaultPlan | None = None,
+    spec: RunSpec | None = None,
     tracer: Tracer | None = None,
 ) -> RunResult:
     """Run the paper's experiment once.
 
+    Preferred form: ``run_poisson_on_p2p(spec=RunSpec(...))`` (or,
+    equivalently, ``spec.run()``).  The keyword form is a compatibility
+    shim: every non-None keyword becomes the corresponding
+    :class:`~repro.exec.spec.RunSpec` field and ``None`` means "the spec's
+    default" — the defaults live in exactly one place.
+
     ``churn_window`` is the span (simulated seconds) over which the
     requested disconnections are spread; when None and churn is requested,
-    a churn-free calibration run with the same parameters measures it —
+    a fault-free calibration run with the same parameters measures it —
     mirroring the paper, which disconnects peers "during the execution".
 
+    ``faults`` schedules a :class:`~repro.faults.FaultPlan` scenario
+    (Super-Peer crashes, partitions, corruption, rack failures) alongside
+    the run.
+
     ``tracer`` enables structured tracing (:mod:`repro.obs`) for the main
-    run only (the churn-calibration pre-run stays untraced, so the trace
+    run only (the calibration pre-run stays untraced, so the trace
     describes exactly one execution) and populates
     :attr:`RunResult.run_report`.
 
@@ -147,79 +166,112 @@ def run_poisson_on_p2p(
     decomposition and inner-solve paths — the benchmark's bypass arm; the
     numerical results and simulated time are identical either way.
     """
-    RUN_COUNTER.bump()
-    if peers < 1:
-        raise ValueError("peers must be >= 1")
-    if disconnections < 0:
-        raise ValueError("disconnections must be >= 0")
-    config = config or EXPERIMENT_CONFIG
-    if overlap is None:
-        overlap = optimal_overlap(n, peers)
-    if n_daemons is None:
-        n_daemons = peers + max(3, peers // 2)  # spares for replacements
+    overrides = {
+        key: value
+        for key, value in {
+            "n": n, "peers": peers, "disconnections": disconnections,
+            "seed": seed, "overlap": overlap, "config": config,
+            "n_daemons": n_daemons, "n_superpeers": n_superpeers,
+            "churn_window": churn_window, "reconnect_delay": reconnect_delay,
+            "link_scale": link_scale, "horizon": horizon,
+            "convergence_threshold": convergence_threshold,
+            "collect": collect, "warm_start": warm_start,
+            "use_cache": use_cache, "inner_tol": inner_tol,
+            "inner_max_iter": inner_max_iter, "faults": faults,
+        }.items()
+        if value is not None
+    }
+    if spec is not None:
+        if overrides:
+            raise ConfigurationError(
+                f"pass spec= OR keyword arguments, not both (got "
+                f"{sorted(overrides)})"
+            )
+    else:
+        if "n" not in overrides:
+            raise ConfigurationError("run_poisson_on_p2p needs n= (or spec=)")
+        spec = RunSpec(**overrides)
+    return execute_spec(spec, tracer=tracer)
 
-    if disconnections > 0 and churn_window is None:
-        calibration = run_poisson_on_p2p(
-            n=n, peers=peers, disconnections=0, seed=seed, overlap=overlap,
-            config=config, n_daemons=n_daemons, n_superpeers=n_superpeers,
-            link_scale=link_scale, horizon=horizon,
-            convergence_threshold=convergence_threshold, collect=False,
-            warm_start=warm_start, use_cache=use_cache,
-            inner_tol=inner_tol, inner_max_iter=inner_max_iter,
-        )
+
+def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
+    """Execute one normalized :class:`RunSpec` (the real driver body)."""
+    RUN_COUNTER.bump()
+    if spec.peers < 1:
+        raise ConfigurationError("peers must be >= 1")
+    if spec.disconnections < 0:
+        raise ConfigurationError("disconnections must be >= 0")
+    spec = spec.normalized()
+
+    if spec.needs_calibration():
+        calibration = execute_spec(spec.calibration_spec())
         if not calibration.converged:
             return calibration
-        churn_window = calibration.simulated_time
+        spec = replace(spec, churn_window=calibration.simulated_time)
 
     cluster = build_cluster(
-        n_daemons=n_daemons,
-        n_superpeers=n_superpeers,
-        seed=seed,
-        config=config,
-        link_scale=link_scale,
+        n_daemons=spec.n_daemons,
+        n_superpeers=spec.n_superpeers,
+        seed=spec.seed,
+        config=spec.config,
+        link_scale=spec.link_scale,
         tracer=tracer,
     )
     app = make_poisson_app(
         "poisson",
-        n=n,
-        num_tasks=peers,
-        overlap=overlap,
-        convergence_threshold=convergence_threshold,
-        warm_start=warm_start,
-        use_cache=use_cache,
-        inner_tol=inner_tol,
-        inner_max_iter=inner_max_iter,
+        n=spec.n,
+        num_tasks=spec.peers,
+        overlap=spec.overlap,
+        convergence_threshold=spec.convergence_threshold,
+        warm_start=spec.warm_start,
+        use_cache=spec.use_cache,
+        inner_tol=spec.inner_tol,
+        inner_max_iter=spec.inner_max_iter,
     )
     spawner = launch_application(cluster, app)
 
+    def computing(host) -> bool:
+        daemon = cluster.daemons.get(host.name)
+        return daemon is not None and daemon.runner is not None
+
     injector = None
-    if disconnections > 0:
+    if spec.disconnections > 0:
         model = PaperChurn(
-            n_disconnections=disconnections,
-            reconnect_delay=reconnect_delay,
+            n_disconnections=spec.disconnections,
+            reconnect_delay=spec.reconnect_delay,
         )
         injector = ChurnInjector(
             cluster.sim,
             cluster.testbed.daemon_hosts,
             model,
-            RngTree(seed).child("churn"),
-            horizon=churn_window,
+            RngTree(spec.seed).child("churn"),
+            horizon=spec.churn_window,
             log=cluster.log,
-            victim_filter=lambda h: (
-                (d := cluster.daemons.get(h.name)) is not None
-                and d.runner is not None
-            ),
+            victim_filter=computing,
+        )
+
+    fault_injector = None
+    if spec.faults:
+        fault_injector = FaultInjector(
+            cluster.sim,
+            spec.faults,
+            rng=RngTree(spec.seed).child("faults"),
+            cluster=cluster,
+            victim_filter=computing,
         )
 
     sim = cluster.sim
-    sim.run(until=sim.any_of([spawner.done, sim.timeout(horizon)]))
+    sim.run(until=sim.any_of([spawner.done, sim.timeout(spec.horizon)]))
     converged = spawner.done.triggered
+    if fault_injector is not None:
+        # stop injecting: pending actions must not disturb collection
+        fault_injector.cancel()
 
     residual = None
-    if collect and converged:
+    if spec.collect and converged:
         proc = sim.process(spawner.collect_solution())
         sim.run(until=proc)
-        x = np.zeros(n * n)
+        x = np.zeros(spec.n * spec.n)
         missing = False
         for frag in proc.value.values():
             if frag is None:
@@ -228,7 +280,7 @@ def run_poisson_on_p2p(
             offset, values = frag
             x[offset : offset + len(values)] = values
         if not missing:
-            residual = Poisson2D.manufactured(n).residual_norm(x)
+            residual = Poisson2D.manufactured(spec.n).residual_norm(x)
 
     telemetry = cluster.telemetry
     run_report = None
@@ -240,14 +292,15 @@ def run_poisson_on_p2p(
             spawner=spawner,
             superpeers=cluster.superpeers,
             app_id=app.app_id,
+            fault_injector=fault_injector,
         )
     return RunResult(
-        n=n,
-        peers=peers,
-        disconnections_requested=disconnections,
+        n=spec.n,
+        peers=spec.peers,
+        disconnections_requested=spec.disconnections,
         disconnections_executed=injector.disconnections if injector else 0,
-        seed=seed,
-        overlap=overlap,
+        seed=spec.seed,
+        overlap=spec.overlap,
         converged=converged,
         simulated_time=spawner.execution_time,
         total_iterations=telemetry.total_iterations,
@@ -259,5 +312,7 @@ def run_poisson_on_p2p(
         replacements=spawner.replacements,
         checkpoints_sent=telemetry.checkpoints_sent,
         data_messages=telemetry.data_messages_sent,
+        faults_executed=len(fault_injector.executed) if fault_injector else 0,
+        messages_corrupted=fault_injector.corrupted if fault_injector else 0,
         run_report=run_report,
     )

@@ -1,0 +1,47 @@
+"""The fault plane: scenario-driven failures for JaceP2P experiments.
+
+This package turns "what can go wrong" into data: a
+:class:`~repro.faults.plan.FaultPlan` is a frozen, seeded, JSON-round-trip
+schedule of typed :class:`~repro.faults.actions.FaultAction`\\ s — daemon
+crashes (the historical churn axis), Super-Peer outages with Daemon
+re-registration, network partitions, in-transit corruption of asynchronous
+data payloads and correlated rack failures.  The
+:class:`~repro.faults.injector.FaultInjector` executes a plan as a
+simulation process, records what it did for replay, and emits ``faults``
+trace events plus ``fault_*`` metrics.
+
+Plans ride inside :class:`~repro.exec.spec.RunSpec` (the ``faults`` field),
+so fault scenarios flow through the parallel sweep engine and the run cache
+like any other experiment parameter, and through ``repro-cli faults``.
+"""
+
+from repro.faults.actions import (
+    DaemonCrash,
+    FaultAction,
+    HealAction,
+    MessageCorruption,
+    PartitionAction,
+    RackFailure,
+    SuperPeerCrash,
+    action_from_dict,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultRecord
+from repro.faults.scenarios import SCENARIOS, scenario, scenario_names
+
+__all__ = [
+    "FaultAction",
+    "DaemonCrash",
+    "SuperPeerCrash",
+    "PartitionAction",
+    "HealAction",
+    "MessageCorruption",
+    "RackFailure",
+    "action_from_dict",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultInjector",
+    "SCENARIOS",
+    "scenario",
+    "scenario_names",
+]

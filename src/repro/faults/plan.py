@@ -1,0 +1,108 @@
+"""Composable fault plans.
+
+A :class:`FaultPlan` is a frozen, content-addressable schedule of
+:class:`~repro.faults.actions.FaultAction`\\ s.  It is *data*, not
+behaviour: execution belongs to
+:class:`~repro.faults.injector.FaultInjector`, and every random choice the
+injector makes (victim picks, corruption draws) derives from the run's
+seed, so the same plan against the same :class:`~repro.exec.spec.RunSpec`
+replays bit-for-bit — serially, in a worker pool, or out of the run cache.
+
+Plans compose with ``+`` (schedules merge and sort), so scenarios build up
+from small pieces::
+
+    plan = superpeer_outage + FaultPlan.of(MessageCorruption(0.1, duration=0.2))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.faults.actions import FaultAction, action_from_dict
+
+__all__ = ["FaultPlan", "FaultRecord"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable schedule of fault actions.
+
+    ``name`` is cosmetic (scenario display); two plans with the same
+    actions and different names are different specs on purpose, so a named
+    scenario never aliases an ad-hoc plan in the run cache.
+    """
+
+    actions: tuple[FaultAction, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+        for action in self.actions:
+            if not isinstance(action, FaultAction):
+                raise ConfigurationError(
+                    f"FaultPlan actions must be FaultActions, got {action!r}"
+                )
+
+    @classmethod
+    def of(cls, *actions: FaultAction, name: str = "") -> "FaultPlan":
+        """Convenience constructor: ``FaultPlan.of(a, b, c)``."""
+        return cls(actions=tuple(actions), name=name)
+
+    # -- composition ----------------------------------------------------------
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        name = self.name or other.name
+        return FaultPlan(actions=self.actions + other.actions, name=name)
+
+    def __bool__(self) -> bool:
+        return bool(self.actions)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def schedule(self) -> list[FaultAction]:
+        """The actions in firing order (stable for equal times)."""
+        return sorted(self.actions, key=lambda a: a.time)
+
+    # -- transport ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "actions": [action.to_dict() for action in self.schedule()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            actions=tuple(
+                action_from_dict(entry) for entry in data.get("actions", ())
+            ),
+            name=data.get("name", ""),
+        )
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One *executed* fault: what the injector actually did, for replay.
+
+    ``detail`` carries the resolved choices (victim host names, Super-Peer
+    ids, corruption counts) that the plan left open.
+    """
+
+    time: float
+    kind: str
+    detail: dict
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind, "detail": dict(self.detail)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRecord":
+        return cls(
+            time=data["time"], kind=data["kind"], detail=dict(data.get("detail", {}))
+        )

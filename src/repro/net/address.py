@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
+
 __all__ = ["Address"]
 
 
@@ -27,9 +29,9 @@ class Address:
 
     def __post_init__(self) -> None:
         if not self.host:
-            raise ValueError("empty host name")
+            raise ConfigurationError("empty host name")
         if not (0 < self.port < 65536):
-            raise ValueError(f"port {self.port} out of range")
+            raise ConfigurationError(f"port {self.port} out of range")
 
     def __str__(self) -> str:
         return f"{self.host}:{self.port}"

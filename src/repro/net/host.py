@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.des import Simulator, Store
 from repro.des.process import Process
-from repro.errors import HostDownError, NetworkError
+from repro.errors import ConfigurationError, HostDownError, NetworkError
 from repro.net.address import Address
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -88,7 +88,7 @@ class Host:
         tags: tuple[str, ...] = (),
     ):
         if speed <= 0:
-            raise ValueError(f"host speed must be positive, got {speed}")
+            raise ConfigurationError(f"host speed must be positive, got {speed}")
         self.sim = sim
         self.name = name
         self.speed = float(speed)
@@ -134,7 +134,7 @@ class Host:
         Usage inside a process: ``yield host.compute(1e9)``.
         """
         if flops < 0:
-            raise ValueError("negative flops")
+            raise ConfigurationError("negative flops")
         if not self.online:
             raise HostDownError(f"compute() on offline host {self.name}")
         return self.sim.timeout(flops / (self.speed * BASE_FLOPS))

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.net.host import Host
 from repro.util.rng import RngTree
 
@@ -51,9 +52,9 @@ class UniformLinkModel(LinkModel):
 
     def __post_init__(self) -> None:
         if self.latency < 0 or self.bandwidth <= 0:
-            raise ValueError("latency must be >=0 and bandwidth >0")
+            raise ConfigurationError("latency must be >=0 and bandwidth >0")
         if self.jitter and self.rng is None:
-            raise ValueError("jitter requires an RngTree")
+            raise ConfigurationError("jitter requires an RngTree")
 
     def delay(self, src: Host, dst: Host, nbytes: int) -> float:
         if src is dst:
@@ -101,7 +102,7 @@ class HeterogeneousLinkModel(LinkModel):
         self.jitter = float(jitter)
         self.rng = rng
         if self.jitter and rng is None:
-            raise ValueError("jitter requires an RngTree")
+            raise ConfigurationError("jitter requires an RngTree")
 
     def class_of(self, host: Host) -> NetClass:
         for tag in host.tags:

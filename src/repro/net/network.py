@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.des import Simulator
-from repro.errors import NetworkError
+from repro.errors import ConfigurationError, NetworkError
 from repro.net.address import Address
 from repro.net.host import Host
 from repro.net.link import LinkModel, UniformLinkModel
@@ -82,14 +82,19 @@ class Network:
         congestion=None,
     ):
         if not 0.0 <= loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1)")
+            raise ConfigurationError("loss_rate must be in [0, 1)")
         if loss_rate > 0 and rng is None:
-            raise ValueError("loss_rate requires an RngTree")
+            raise ConfigurationError("loss_rate requires an RngTree")
         self.sim = sim
         self.link_model = link_model or UniformLinkModel()
         self.loss_rate = loss_rate
         self.rng = rng
         self.congestion = congestion
+        #: optional in-transit tamper hook ``corruptor(msg) -> None``,
+        #: invoked on every message that will actually be delivered (after
+        #: partition/loss/liveness checks).  The fault plane installs one
+        #: during a corruption window; it mutates ``msg.payload`` in place.
+        self.corruptor = None
         self.in_flight = 0
         self.peak_in_flight = 0
         self.hosts: dict[str, Host] = {}
@@ -241,6 +246,8 @@ class Network:
             self.dropped_dead += 1
             self._trace_drop(msg, "no_endpoint")
             return
+        if self.corruptor is not None:
+            self.corruptor(msg)
         if ep.deliver(msg):
             self.delivered += 1
             self.bytes_delivered += msg.size

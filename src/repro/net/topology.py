@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.des import Simulator
 from repro.net.host import Host
 from repro.net.link import (
@@ -121,16 +122,16 @@ def build_testbed(
         an iteration, not on absolute 2006 LAN parameters.
     """
     if n_daemons < 1:
-        raise ValueError("need at least one daemon host")
+        raise ConfigurationError("need at least one daemon host")
     if n_superpeers < 1:
-        raise ValueError("need at least one super-peer host")
+        raise ConfigurationError("need at least one super-peer host")
     if not homogeneous and rng is None:
-        raise ValueError("heterogeneous testbed requires an rng")
+        raise ConfigurationError("heterogeneous testbed requires an rng")
     if link_scale <= 0:
-        raise ValueError("link_scale must be positive")
+        raise ConfigurationError("link_scale must be positive")
 
     if loss_rate > 0 and rng is None:
-        raise ValueError("loss_rate requires an rng")
+        raise ConfigurationError("loss_rate requires an rng")
     link_rng = rng.child("links") if rng is not None else None
     classes = {
         cls.name: NetClass(cls.name, cls.latency * link_scale,

@@ -8,8 +8,9 @@ Three cooperating pieces (see ``docs/observability.md``):
   via the zero-overhead :data:`NULL_TRACER`;
 * the **metrics registry** (:mod:`repro.obs.metrics`): labelled
   :class:`Counter` / :class:`Gauge` / :class:`Histogram` aggregates —
-  the backing store of the :class:`~repro.p2p.telemetry.Telemetry`
-  compatibility façade;
+  the backing store of the :class:`~repro.obs.instruments.RunTelemetry`
+  instrument (formerly ``repro.p2p.telemetry.Telemetry``, now a
+  deprecated alias);
 * the **exporters** (:mod:`repro.obs.exporters`, :mod:`repro.obs.report`):
   JSONL and Chrome ``trace_event`` dumps plus the plain-text/markdown
   :class:`RunReport` behind ``repro-cli trace`` / ``repro-cli report``.
@@ -24,6 +25,7 @@ Enable tracing on any run by handing the cluster a recording tracer::
 """
 
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+from repro.obs.instruments import RecoveryRecord, RunTelemetry
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.exporters import (
     trace_to_chrome,
@@ -43,6 +45,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RunTelemetry",
+    "RecoveryRecord",
     "trace_to_jsonl",
     "write_jsonl",
     "trace_to_chrome",

@@ -41,6 +41,9 @@ class RunReport:
     evictions: int = 0
     replacements: int = 0
     net_stats: dict = field(default_factory=dict)
+    #: executed fault-plane actions as ``FaultRecord`` dicts (empty when the
+    #: run had no fault plan)
+    faults: list = field(default_factory=list)
     #: exact per-``(category, kind)`` trace counts (empty without a tracer)
     event_counts: dict = field(default_factory=dict)
 
@@ -69,7 +72,7 @@ class RunReport:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":
-        from repro.p2p.telemetry import RecoveryRecord
+        from repro.obs.instruments import RecoveryRecord
 
         data = dict(data)
         data["recoveries"] = [
@@ -108,6 +111,14 @@ class RunReport:
             ("messages dropped", str(drops)),
         ]
 
+    def _fault_lines(self) -> list[str]:
+        lines = []
+        for rec in self.faults:
+            detail = rec.get("detail", {})
+            extras = "  ".join(f"{k}={v}" for k, v in detail.items())
+            lines.append(f"t={rec['time']:.3f}s  {rec['kind']}  {extras}".rstrip())
+        return lines
+
     def _recovery_lines(self) -> list[str]:
         lines = []
         for rec in self.recoveries:
@@ -130,6 +141,10 @@ class RunReport:
         lines = [title, "=" * len(title)]
         for key, value in self._rows():
             lines.append(f"{key:>20}: {value}")
+        if self.faults:
+            lines.append("")
+            lines.append("fault history:")
+            lines.extend(f"  {line}" for line in self._fault_lines())
         if self.recoveries:
             lines.append("")
             lines.append("recovery history:")
@@ -146,6 +161,9 @@ class RunReport:
         title = f"# Run report{f' — `{self.app_id}`' if self.app_id else ''}"
         lines = [title, "", "| metric | value |", "|---|---|"]
         lines.extend(f"| {key} | {value} |" for key, value in self._rows())
+        if self.faults:
+            lines += ["", "## Fault history", ""]
+            lines.extend(f"* {line}" for line in self._fault_lines())
         if self.recoveries:
             lines += ["", "## Recovery history", ""]
             lines.extend(f"* {line}" for line in self._recovery_lines())
@@ -165,6 +183,7 @@ def build_run_report(
     spawner=None,
     superpeers=(),
     app_id: str = "",
+    fault_injector=None,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from whatever sources are at hand.
 
@@ -173,6 +192,8 @@ def build_run_report(
     optional and simply leave their sections empty/zero when absent.
     Heartbeat misses and evictions prefer exact trace counts and fall back
     to the spawner's / Super-Peers' own counters when tracing was off.
+    ``fault_injector`` (a :class:`~repro.faults.FaultInjector`) fills the
+    fault-history section with the executed plan.
     """
     report = RunReport(
         app_id=app_id or (spawner.app.app_id if spawner is not None else ""),
@@ -190,6 +211,8 @@ def build_run_report(
     )
     if network is not None:
         report.net_stats = network.stats()
+    if fault_injector is not None:
+        report.faults = [rec.to_dict() for rec in fault_injector.executed]
     if spawner is not None:
         report.heartbeat_misses = spawner.failures_detected
         report.replacements = spawner.replacements

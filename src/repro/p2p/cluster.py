@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError, FaultError
 from repro.des import Simulator
 from repro.net.address import Address
 from repro.net.host import Host
@@ -20,7 +21,7 @@ from repro.p2p.daemon import Daemon
 from repro.p2p.messages import AppSpec
 from repro.p2p.spawner import Spawner
 from repro.p2p.superpeer import SuperPeer
-from repro.p2p.telemetry import Telemetry
+from repro.obs.instruments import RunTelemetry
 from repro.util.logging import EventLog
 from repro.util.rng import RngTree
 
@@ -40,7 +41,7 @@ class Cluster:
     #: current Daemon incarnation per daemon host name
     daemons: dict[str, Daemon] = field(default_factory=dict)
     spawners: list[Spawner] = field(default_factory=list)
-    telemetry: Telemetry = field(default_factory=Telemetry)
+    telemetry: RunTelemetry = field(default_factory=RunTelemetry)
     incarnations: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -80,6 +81,28 @@ class Cluster:
         )
         self.daemons[host.name] = daemon
         return daemon
+
+    def boot_superpeer(self, host: Host) -> SuperPeer:
+        """Boot a replacement Super-Peer on a recovered ``host``.
+
+        The replacement keeps the dead incumbent's ``sp_id``, port and
+        address, so bootstrap address lists and the surviving Super-Peers'
+        neighbour stubs (which are address-based) reach it unchanged — the
+        paper's entry points are *well-known* nodes.  Its Register starts
+        empty; Daemons repopulate it through re-registration (§5.3).
+        """
+        for i, old in enumerate(self.superpeers):
+            if old.host is host:
+                replacement = SuperPeer(
+                    self.network, host, sp_id=old.sp_id,
+                    config=self.config, log=self.log,
+                )
+                self.superpeers[i] = replacement
+                stubs = [sp.stub for sp in self.superpeers]
+                for sp in self.superpeers:
+                    sp.link(stubs)
+                return replacement
+        raise FaultError(f"host {host.name!r} runs no Super-Peer")
 
 
 def build_cluster(
@@ -159,7 +182,7 @@ def launch_application(
         config=config,
         rng=cluster.rng.child("spawner", app.app_id),
         log=cluster.log,
-        telemetry=cluster.telemetry if index == 0 else Telemetry(),
+        telemetry=cluster.telemetry if index == 0 else RunTelemetry(),
         stable_store=stable_store,
     )
     cluster.spawners.append(spawner)
@@ -183,7 +206,7 @@ def resume_application(
     """
     snapshot = stable_store.load(app.app_id)
     if snapshot is None:
-        raise ValueError(f"no stable snapshot for application {app.app_id!r}")
+        raise ConfigurationError(f"no stable snapshot for application {app.app_id!r}")
     config = cluster.config.with_(spawner_port=snapshot.spawner_port)
     spawner = Spawner(
         network=cluster.network,

@@ -6,6 +6,7 @@ use conventional values elsewhere (heartbeat/timeout ratios, ports).
 """
 
 from __future__ import annotations
+from repro.errors import ConfigurationError
 
 from dataclasses import dataclass, replace
 
@@ -69,32 +70,32 @@ class P2PConfig:
 
     def __post_init__(self) -> None:
         if self.heartbeat_timeout <= self.heartbeat_period:
-            raise ValueError("heartbeat_timeout must exceed heartbeat_period")
+            raise ConfigurationError("heartbeat_timeout must exceed heartbeat_period")
         if self.heartbeat_period <= 0 or self.monitor_period <= 0:
-            raise ValueError("periods must be positive")
+            raise ConfigurationError("periods must be positive")
         if self.call_timeout <= 0:
-            raise ValueError("call_timeout must be positive")
+            raise ConfigurationError("call_timeout must be positive")
         if self.checkpoint_frequency < 1:
-            raise ValueError("checkpoint_frequency must be >= 1")
+            raise ConfigurationError("checkpoint_frequency must be >= 1")
         if self.backup_count < 0:
-            raise ValueError("backup_count must be >= 0")
+            raise ConfigurationError("backup_count must be >= 0")
         if not 0.0 < self.backup_ram_fraction <= 1.0:
-            raise ValueError("backup_ram_fraction must be in (0, 1]")
+            raise ConfigurationError("backup_ram_fraction must be in (0, 1]")
         if self.convergence_threshold <= 0:
-            raise ValueError("convergence_threshold must be positive")
+            raise ConfigurationError("convergence_threshold must be positive")
         if self.stability_window < 1:
-            raise ValueError("stability_window must be >= 1")
+            raise ConfigurationError("stability_window must be >= 1")
         if self.min_iteration_time < 0 or self.iteration_overhead < 0:
-            raise ValueError("pacing values must be >= 0")
+            raise ConfigurationError("pacing values must be >= 0")
         if self.detection_mode not in ("immediate", "dwell"):
-            raise ValueError("detection_mode must be 'immediate' or 'dwell'")
+            raise ConfigurationError("detection_mode must be 'immediate' or 'dwell'")
         if self.verification_dwell <= 0:
-            raise ValueError("verification_dwell must be positive")
+            raise ConfigurationError("verification_dwell must be positive")
         if self.broadcast_mode not in ("full", "delta"):
-            raise ValueError("broadcast_mode must be 'full' or 'delta'")
+            raise ConfigurationError("broadcast_mode must be 'full' or 'delta'")
         ports = {self.superpeer_port, self.daemon_port, self.spawner_port}
         if len(ports) != 3:
-            raise ValueError("entity ports must be distinct")
+            raise ConfigurationError("entity ports must be distinct")
 
     def with_(self, **changes) -> "P2PConfig":
         """A copy with the given fields replaced."""

@@ -22,7 +22,7 @@ from typing import Any
 from repro.checkpoint import Backup, BackupPolicy, BackupStore, choose_latest
 from repro.convergence import LocalConvergenceDetector
 from repro.des import Simulator
-from repro.errors import RemoteError, TaskError
+from repro.errors import ConfigurationError, RemoteError, TaskError
 from repro.net.address import Address
 from repro.net.host import BASE_FLOPS, Host
 from repro.net.network import Network
@@ -30,7 +30,7 @@ from repro.p2p.config import P2PConfig
 from repro.p2p.messages import ApplicationRegister
 from repro.p2p.superpeer import SUPERPEER_OBJECT
 from repro.p2p.task import Task, TaskContext
-from repro.p2p.telemetry import Telemetry
+from repro.obs.instruments import RunTelemetry
 from repro.rmi import RemoteObject, RmiRuntime, Stub, remote
 from repro.util.logging import EventLog
 from repro.util.rng import RngTree
@@ -58,7 +58,7 @@ class TaskRunner:
         restart: bool,
         convergence_threshold: float,
         stability_window: int,
-        telemetry: Telemetry | None,
+        telemetry: RunTelemetry | None,
     ):
         self.daemon = daemon
         self.sim = daemon.sim
@@ -260,10 +260,10 @@ class Daemon(RemoteObject):
         config: P2PConfig,
         rng: RngTree,
         log: EventLog | None = None,
-        telemetry: Telemetry | None = None,
+        telemetry: RunTelemetry | None = None,
     ):
         if not superpeer_addresses:
-            raise ValueError("a Daemon needs at least one Super-Peer address")
+            raise ConfigurationError("a Daemon needs at least one Super-Peer address")
         self.sim: Simulator = network.sim
         self.network = network
         self.host = host
@@ -297,15 +297,18 @@ class Daemon(RemoteObject):
         current owner (Super-Peer while idle, Spawner while computing)."""
         while True:
             if self.runner is not None:
-                # the heartbeat piggybacks the current local-stability bit:
-                # set_state flips are oneway and may be lost, so this
-                # periodic refresh keeps the Spawner's array eventually
-                # consistent even on a lossy network (§5.3 + §5.5)
+                # the heartbeat piggybacks the current local-stability bit
+                # and our register version: set_state flips and register
+                # broadcasts are oneway and may be lost, so this periodic
+                # refresh keeps the Spawner's array eventually consistent
+                # and lets it repair our register when a broadcast was
+                # dropped (§5.3 + §5.5)
                 self.runtime.oneway(
                     self.runner.spawner_stub, "heartbeat_task",
                     self.runner.app_id, self.runner.task_id,
                     self.runner.epoch, self.daemon_id,
                     self.runner.detector.stable,
+                    self.runner.register.version,
                 )
                 yield self.sim.timeout(self.config.heartbeat_period)
                 continue

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.errors import ConfigurationError
 from repro.rmi.stub import Stub
 
 __all__ = ["TaskSlot", "ApplicationRegister", "AppSpec"]
@@ -105,6 +106,6 @@ class AppSpec:
 
     def __post_init__(self) -> None:
         if not self.app_id:
-            raise ValueError("app_id must be non-empty")
+            raise ConfigurationError("app_id must be non-empty")
         if self.num_tasks < 1:
-            raise ValueError("num_tasks must be >= 1")
+            raise ConfigurationError("num_tasks must be >= 1")

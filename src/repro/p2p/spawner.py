@@ -15,14 +15,14 @@ from typing import Any
 from repro.convergence import GlobalConvergenceTracker
 from repro.des import Simulator
 from repro.des.events import Event
-from repro.errors import RemoteError, TaskError
+from repro.errors import ConfigurationError, RemoteError, TaskError
 from repro.net.address import Address
 from repro.net.host import Host
 from repro.net.network import Network
 from repro.p2p.config import P2PConfig
 from repro.p2p.messages import AppSpec, ApplicationRegister, RegisterDelta, TaskSlot
 from repro.p2p.superpeer import SUPERPEER_OBJECT
-from repro.p2p.telemetry import Telemetry
+from repro.obs.instruments import RunTelemetry
 from repro.rmi import RemoteObject, RmiRuntime, Stub, remote
 from repro.util.logging import EventLog
 from repro.util.rng import RngTree
@@ -45,7 +45,7 @@ class Spawner(RemoteObject):
         config: P2PConfig,
         rng: RngTree,
         log: EventLog | None = None,
-        telemetry: Telemetry | None = None,
+        telemetry: RunTelemetry | None = None,
         stable_store=None,
         resume_from: ApplicationRegister | None = None,
     ):
@@ -55,7 +55,7 @@ class Spawner(RemoteObject):
         one, adopting its register (epochs intact) instead of starting from
         empty slots."""
         if not superpeer_addresses:
-            raise ValueError("the Spawner needs at least one Super-Peer address")
+            raise ConfigurationError("the Spawner needs at least one Super-Peer address")
         self.sim: Simulator = network.sim
         self.network = network
         self.host = host
@@ -64,7 +64,7 @@ class Spawner(RemoteObject):
         self.config = config
         self.rng = rng
         self.log = log
-        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.telemetry = telemetry if telemetry is not None else RunTelemetry()
         self.telemetry.launched_at = self.sim.now
 
         self.stable_store = stable_store
@@ -72,7 +72,7 @@ class Spawner(RemoteObject):
         if resume_from is not None:
             if (resume_from.app_id != app.app_id
                     or resume_from.num_tasks != app.num_tasks):
-                raise ValueError("resume_from does not match this application")
+                raise ConfigurationError("resume_from does not match this application")
             self.register = resume_from.snapshot()
             self.register.version += 1  # our reign starts a new version
         else:
@@ -96,6 +96,7 @@ class Spawner(RemoteObject):
         self._changed_since_broadcast: set[int] = set()
         self.broadcast_bytes = 0
         self.resyncs_served = 0
+        self.register_repairs = 0
         self.threshold = (
             app.convergence_threshold
             if app.convergence_threshold is not None
@@ -125,6 +126,7 @@ class Spawner(RemoteObject):
         epoch: int,
         daemon_id: str,
         stable: bool | None = None,
+        register_version: int | None = None,
     ) -> None:
         """Liveness signal from a computing peer (§5.3).
 
@@ -132,7 +134,16 @@ class Spawner(RemoteObject):
         ``set_state`` messages are oneway and lossy, so this periodic
         refresh is what makes convergence detection robust to loss.  A
         heartbeat arriving after completion triggers a ``halt`` re-send
-        (the original halt may itself have been lost)."""
+        (the original halt may itself have been lost).
+
+        It also carries the sender's Application Register version.  The
+        broadcast that follows an assignment or replacement is oneway and
+        can be lost to message loss or a partition; a peer left with a
+        stale register keeps computing but silently skips every neighbour
+        its copy does not know (a wrong-but-converged fixed point).  When
+        a heartbeat reports an old version the Spawner re-sends the full
+        register — anti-entropy repair keeping §5.3's "the recipient is
+        automatically updated" true under faults."""
         if app_id != self.app.app_id or not 0 <= task_id < self.app.num_tasks:
             return
         slot = self.register.slot(task_id)
@@ -144,6 +155,16 @@ class Spawner(RemoteObject):
             return
         self.last_seen[task_id] = self.sim.now
         self._trace("heartbeat", task=task_id, daemon=daemon_id)
+        if (register_version is not None
+                and register_version < self._last_broadcast_version
+                and slot.daemon_stub is not None):
+            self.register_repairs += 1
+            self._trace("register_repair", task=task_id, daemon=daemon_id,
+                        stale_version=register_version,
+                        version=self.register.version)
+            self.runtime.oneway(
+                slot.daemon_stub, "update_register", self.register.snapshot()
+            )
         if stable is not None:
             self.set_state(app_id, task_id, epoch, stable)
 

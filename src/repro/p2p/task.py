@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import TaskError
+from repro.errors import ConfigurationError, TaskError
 
 __all__ = ["TaskContext", "IterationStep", "Task"]
 
@@ -39,7 +39,7 @@ class TaskContext:
 
     def __post_init__(self) -> None:
         if not 0 <= self.task_id < self.num_tasks:
-            raise ValueError("task_id out of range")
+            raise ConfigurationError("task_id out of range")
 
 
 @dataclass
@@ -58,9 +58,9 @@ class IterationStep:
 
     def __post_init__(self) -> None:
         if self.flops < 0:
-            raise ValueError("flops must be >= 0")
+            raise ConfigurationError("flops must be >= 0")
         if self.local_distance < 0:
-            raise ValueError("local_distance must be >= 0")
+            raise ConfigurationError("local_distance must be >= 0")
 
 
 class Task:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.errors import ConfigurationError
 from repro.net.address import Address
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,7 +37,7 @@ class Stub:
 
     def __post_init__(self) -> None:
         if not self.object_name:
-            raise ValueError("stub needs a non-empty object name")
+            raise ConfigurationError("stub needs a non-empty object name")
 
     def bind(self, runtime: "RmiRuntime") -> "BoundStub":
         return BoundStub(self, runtime)

@@ -150,3 +150,53 @@ def test_cli_timeline(capsys):
     assert "spawner_assigned" in out
     assert "legend" in out.lower() or "A=assigned" in out
     assert "converged: True" in out
+
+
+def test_every_sweep_subcommand_shares_the_exec_flags():
+    """--workers/--cache-dir/--no-cache are one parent parser, everywhere."""
+    parser = build_parser()
+    cases = [
+        ["run", "--n", "24"],
+        ["figure7"],
+        ["iterations"],
+        ["syncasync"],
+        ["ablation", "overlap"],
+        ["faults", "run", "churn-burst"],
+    ]
+    for base in cases:
+        args = parser.parse_args(
+            base + ["--workers", "4", "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache is True
+
+
+def test_cli_faults_list(capsys):
+    rc = main(["faults", "list"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "perfect-storm" in out
+    assert "superpeer_crash" in out
+
+
+def test_cli_faults_run_quick(capsys):
+    rc = main(["faults", "run", "perfect-storm", "--quick", "--no-cache"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fault scenario" in out
+    assert "faults" in out and "corrupted" in out
+
+
+def test_cli_faults_run_report(capsys):
+    rc = main(["faults", "run", "superpeer-outage", "--quick", "--no-cache",
+               "--report"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fault history:" in out
+    assert "superpeer_crash" in out
+
+
+def test_cli_faults_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["faults", "run", "nope"])

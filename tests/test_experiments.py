@@ -77,6 +77,42 @@ def test_run_poisson_validation():
         run_poisson_on_p2p(n=24, peers=2, disconnections=-1)
 
 
+# ------------------------------------------------------- the RunSpec-first API
+
+
+def test_spec_first_entrypoint_matches_kwarg_shim():
+    from repro.exec import RunSpec
+
+    spec = RunSpec(n=24, peers=3, seed=1)
+    assert run_poisson_on_p2p(spec=spec) == run_poisson_on_p2p(
+        n=24, peers=3, seed=1
+    )
+    assert spec.run() == run_poisson_on_p2p(spec=spec)
+
+
+def test_spec_and_kwargs_are_mutually_exclusive():
+    from repro.errors import ConfigurationError
+    from repro.exec import RunSpec
+
+    with pytest.raises(ConfigurationError):
+        run_poisson_on_p2p(spec=RunSpec(n=24, peers=3), n=24)
+    with pytest.raises(ConfigurationError):
+        run_poisson_on_p2p()  # neither spec nor n
+
+
+def test_kwarg_shim_cannot_drift_from_runspec():
+    """Every keyword of the legacy entrypoint must be a RunSpec field, so
+    new knobs land in the spec (and the cache key / sweep engine) first."""
+    import dataclasses
+    import inspect
+
+    from repro.exec import RunSpec
+
+    params = set(inspect.signature(run_poisson_on_p2p).parameters)
+    fields = {f.name for f in dataclasses.fields(RunSpec)}
+    assert params - {"spec", "tracer"} <= fields
+
+
 # ------------------------------------------------------------------- figure 7
 
 

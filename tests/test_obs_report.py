@@ -11,11 +11,11 @@ import json
 import pytest
 
 from repro.obs import RunReport, Tracer, build_run_report, trace_to_jsonl
-from repro.p2p import Telemetry
+from repro.obs import RunTelemetry
 
 
 def test_report_from_bare_telemetry():
-    t = Telemetry()
+    t = RunTelemetry()
     t.record_iteration(0, fresh=True)
     t.launched_at = 0.5
     t.converged_at = 2.5
@@ -28,14 +28,14 @@ def test_report_from_bare_telemetry():
 
 
 def test_report_renders_without_convergence():
-    report = build_run_report(telemetry=Telemetry())
+    report = build_run_report(telemetry=RunTelemetry())
     assert not report.converged
     assert "execution time" in report.to_text()
     assert "| converged | False |" in report.to_markdown()
 
 
 def test_report_prefers_trace_counts():
-    t = Telemetry()
+    t = RunTelemetry()
     tr = Tracer()
     tr.emit(1.0, "p2p", "spawner:x", "hb_miss", task=0, daemon="D1#1")
     tr.emit(1.2, "p2p", "SP0", "evict", daemon="D2#1")

@@ -142,7 +142,7 @@ class _FakeSpawner:
         class Obj(RemoteObject):
             @remote
             def heartbeat_task(self, app_id, task_id, epoch, daemon_id,
-                               stable=None):
+                               stable=None, register_version=None):
                 outer.heartbeats.append((app_id, task_id, epoch, daemon_id,
                                          stable))
 

@@ -1,11 +1,13 @@
-"""Unit tests for the Telemetry instrument."""
+"""Unit tests for the RunTelemetry instrument (and its deprecated alias)."""
 
-from repro.p2p import Telemetry
+import pytest
+
+from repro.obs import RunTelemetry
 from repro.p2p.telemetry import RecoveryRecord
 
 
 def test_iteration_accounting():
-    t = Telemetry()
+    t = RunTelemetry()
     t.record_iteration(0, fresh=True)
     t.record_iteration(0, fresh=False)
     t.record_iteration(1, fresh=False)
@@ -18,7 +20,7 @@ def test_iteration_accounting():
 
 
 def test_empty_telemetry_is_well_defined():
-    t = Telemetry()
+    t = RunTelemetry()
     assert t.total_iterations == 0
     assert t.useless_fraction == 0.0
     assert t.max_task_iterations == 0
@@ -28,7 +30,7 @@ def test_empty_telemetry_is_well_defined():
 
 
 def test_recovery_records():
-    t = Telemetry()
+    t = RunTelemetry()
     t.record_recovery(1.5, task_id=2, resumed_iteration=10, from_scratch=False)
     t.record_recovery(3.0, task_id=2, resumed_iteration=0, from_scratch=True)
     assert len(t.recoveries) == 2
@@ -37,7 +39,7 @@ def test_recovery_records():
 
 
 def test_execution_time():
-    t = Telemetry()
+    t = RunTelemetry()
     t.launched_at = 2.0
     t.converged_at = 7.5
     assert t.execution_time == 5.5
@@ -47,7 +49,7 @@ def test_execution_time():
 
 
 def test_facade_counters_back_onto_registry():
-    t = Telemetry()
+    t = RunTelemetry()
     t.data_messages_sent += 1
     t.data_messages_sent += 1
     t.checkpoints_sent += 1
@@ -59,7 +61,7 @@ def test_facade_counters_back_onto_registry():
 
 
 def test_facade_iterations_live_in_registry():
-    t = Telemetry()
+    t = RunTelemetry()
     t.record_iteration(0, fresh=True)
     t.record_iteration(0, fresh=False)
     c = t.registry.get("task_iterations")
@@ -68,7 +70,7 @@ def test_facade_iterations_live_in_registry():
 
 
 def test_facade_gauges_round_trip():
-    t = Telemetry()
+    t = RunTelemetry()
     assert t.converged_at is None
     t.launched_at = 1.0
     t.converged_at = 3.0
@@ -80,7 +82,7 @@ def test_facade_gauges_round_trip():
 
 
 def test_facade_recoveries_counted_in_registry():
-    t = Telemetry()
+    t = RunTelemetry()
     t.record_recovery(1.0, task_id=0, resumed_iteration=5, from_scratch=False)
     t.record_recovery(2.0, task_id=1, resumed_iteration=0, from_scratch=True)
     assert t.registry.get("recoveries").total == 2
@@ -91,7 +93,18 @@ def test_shared_registry_injection():
     from repro.obs import MetricsRegistry
 
     reg = MetricsRegistry()
-    t = Telemetry(registry=reg)
+    t = RunTelemetry(registry=reg)
     t.record_iteration(0, fresh=True)
     assert t.registry is reg
     assert reg.get("task_iterations").total == 1
+
+
+def test_legacy_telemetry_facade_deprecated():
+    """The old repro.p2p Telemetry name still works but warns."""
+    from repro.p2p import Telemetry
+
+    with pytest.warns(DeprecationWarning, match=r"repro\.p2p\.telemetry"):
+        legacy = Telemetry()
+    assert isinstance(legacy, RunTelemetry)
+    legacy.record_iteration(0, fresh=True)
+    assert legacy.total_iterations == 1
