@@ -38,9 +38,17 @@ class Gate:
     higher_is_better: bool
     #: allowed fractional drift from the baseline value
     max_regression: float
-    #: for lower-is-better metrics whose baseline can be very small: the
-    #: bound never drops below this absolute value
+    #: absolute backstop on the bound.  Lower-is-better: the bound never
+    #: drops below this (loosens gates whose baseline hovers near zero).
+    #: Higher-is-better: the fresh value must also clear this (enforces a
+    #: hard minimum regardless of what the baseline recorded).
     floor: float | None = None
+    #: self-arming gates: apply only when the FRESH measurement carries a
+    #: truthy value under this key.  Lets a benchmark that depends on the
+    #: runner's hardware (e.g. parallel speedup needs >= `workers` cores)
+    #: record honestly on weak machines without tripping the gate there,
+    #: while capable runners enforce it.
+    arm_key: str | None = None
 
 
 #: every gated benchmark artifact and its metrics
@@ -48,12 +56,26 @@ GATES: dict[str, tuple[Gate, ...]] = {
     # cached-vs-bypass hot-path speedup (benchmarks/bench_hotpath.py)
     "BENCH_hotpath.json": (Gate("speedup", True, 0.25),),
     # process-pool sweep + run cache (benchmarks/bench_parallel_sweep.py);
-    # parallel_speedup depends on the runner's core count, hence the wide
-    # allowance; cached_fraction baselines near zero, so it gets the
-    # absolute floor the benchmark itself asserts
+    # parallel_speedup needs real cores: the benchmark sets speedup_gated
+    # only when the runner has >= workers CPUs, so the gate self-arms on
+    # capable machines (floor = the benchmark's own MIN_PARALLEL_SPEEDUP)
+    # and stands down on 1-CPU boxes; cached_fraction baselines near zero,
+    # so it gets the absolute floor the benchmark itself asserts
     "BENCH_parallel_sweep.json": (
-        Gate("parallel_speedup", True, 0.35),
+        Gate("parallel_speedup", True, 0.35, floor=2.0,
+             arm_key="speedup_gated"),
         Gate("cached_fraction", False, 4.0, floor=0.05),
+    ),
+    # swarm-scale run (benchmarks/bench_swarm.py): a >= 10k-Daemon tiered
+    # wheel-mode run must stay tractable.  events_per_sec is wall-clock
+    # dependent, hence the wide allowance plus an absolute floor;
+    # heartbeat_collapse_ratio (process-mode events / wheel-mode events at
+    # identical scale) is deterministic and machine-independent
+    "BENCH_swarm.json": (
+        Gate("daemons", True, 0.05, floor=10_000),
+        Gate("events_per_sec", True, 0.60, floor=10_000),
+        Gate("peak_rss_mb", False, 0.75, floor=512.0),
+        Gate("heartbeat_collapse_ratio", True, 0.30, floor=1.5),
     ),
     # disabled-tracer guard cost ratios (benchmarks/bench_obs_overhead.py);
     # nanosecond-scale timing, so the allowance is deliberately loose —
@@ -88,6 +110,10 @@ def check_file(name: str, baseline_path: Path, fresh_path: Path,
     ok = True
     for gate in gates:
         allowed = override if override is not None else gate.max_regression
+        if gate.arm_key is not None and not fresh.get(gate.arm_key):
+            print(f"{name}: {gate.metric} gate disarmed "
+                  f"({gate.arm_key!r} falsy in fresh measurement) — skipping")
+            continue
         try:
             base_value = float(baseline[gate.metric])
             new_value = float(fresh[gate.metric])
@@ -98,6 +124,8 @@ def check_file(name: str, baseline_path: Path, fresh_path: Path,
             continue
         if gate.higher_is_better:
             bound = (1.0 - allowed) * base_value
+            if gate.floor is not None:
+                bound = max(bound, gate.floor)
             passed = new_value >= bound
             relation = ">="
         else:

@@ -31,12 +31,13 @@ Example
 
 from repro.des.events import Event, Timeout, AllOf, AnyOf, ConditionValue
 from repro.des.process import Process, Interrupt
-from repro.des.kernel import Simulator
+from repro.des.kernel import Simulator, TimerWheel
 from repro.des.resources import Store, Resource, PriorityStore
 from repro.des.monitor import Probe, PeriodicSampler
 
 __all__ = [
     "Simulator",
+    "TimerWheel",
     "Event",
     "Timeout",
     "AllOf",

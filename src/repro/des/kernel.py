@@ -8,14 +8,15 @@ every source of nondeterminism other than the seeded RNG streams.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable
+import math
+from typing import Any, Callable, Generator, Iterable
 
 from repro.des.events import AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
 from repro.errors import SimulationError
 from repro.obs.trace import NULL_TRACER, Tracer
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "TimerWheel"]
 
 
 class Simulator:
@@ -49,6 +50,10 @@ class Simulator:
         self._active_process: Process | None = None
         self._crashed: list[tuple[Process, BaseException]] = []
         self.event_count = 0  # processed events, for micro-benchmarks
+        #: open callback batches keyed by exact fire time (see
+        #: :meth:`call_later_batched`)
+        self._batches: dict[float, list[tuple[Callable, tuple]]] = {}
+        self.batched_calls = 0  # callbacks that shared a heap entry
 
     # -- factory helpers -------------------------------------------------------
 
@@ -77,6 +82,38 @@ class Simulator:
         ev = Timeout(self, delay)
         ev.callbacks.append(lambda _ev: fn(*args))
         return ev
+
+    def call_later_batched(self, delay: float, fn: Callable, *args) -> None:
+        """Schedule ``fn(*args)`` after ``delay``, sharing one heap entry
+        with every other batched callback that lands on the *exact same*
+        fire time.
+
+        Same-timestamp bursts (10 000 heartbeats firing on one timer-wheel
+        slot, a broadcast fan-out, ...) would otherwise each pay a heap
+        push/pop; a batch pays one.  Callbacks inside a batch run in
+        scheduling order.  Relative order against *other* events at the
+        same timestamp follows the batch's (single) sequence number — use
+        :meth:`call_later` when interleaving with unbatched same-time
+        events matters.
+        """
+        when = self.now + delay
+        batch = self._batches.get(when)
+        if batch is None:
+            batch = []
+            self._batches[when] = batch
+            ev = Timeout(self, delay)
+            ev.callbacks.append(lambda _ev: self._run_batch(when))
+        else:
+            self.batched_calls += 1
+        batch.append((fn, args))
+
+    def _run_batch(self, when: float) -> None:
+        for fn, args in self._batches.pop(when):
+            fn(*args)
+
+    def timer_wheel(self, slot_width: float) -> "TimerWheel":
+        """Create a :class:`TimerWheel` with slots of ``slot_width`` seconds."""
+        return TimerWheel(self, slot_width)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -154,3 +191,141 @@ class Simulator:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Simulator t={self.now} queued={len(self._heap)}>"
+
+
+class _WheelEntry:
+    """One periodic timer registered on a :class:`TimerWheel`."""
+
+    __slots__ = ("fn", "args", "cancelled")
+
+    def __init__(self, fn: Callable, args: tuple):
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class TimerWheel:
+    """A slotted timer: many timers, one heap entry per slot.
+
+    Timers are quantized to slot boundaries (multiples of ``slot_width``)
+    and every timer due in the same slot fires from a single kernel event,
+    in registration order.  This is the swarm-scale replacement for
+    one-DES-process-per-Daemon heartbeating: 10 000 Daemons on a wheel
+    cost one heap entry and one callback sweep per heartbeat period
+    instead of 10 000 generator resumptions, Timeout allocations and heap
+    operations.
+
+    Two timer kinds:
+
+    * :meth:`at` / :meth:`after` — one-shot callbacks, rounded *up* to the
+      next slot boundary (a timer never fires early);
+    * :meth:`every` — periodic callbacks fired on every slot boundary
+      while registered; the callback deregisters itself by returning
+      ``False`` (or via the returned entry's ``cancel()``).
+
+    Determinism: slots fire through the ordinary event heap, callbacks
+    within a slot run in registration order, and entries registered while
+    a slot is firing first run on the *next* boundary.
+    """
+
+    def __init__(self, sim: Simulator, slot_width: float):
+        if slot_width <= 0:
+            raise SimulationError(f"slot_width must be positive, got {slot_width}")
+        self.sim = sim
+        self.slot_width = float(slot_width)
+        self._oneshot: dict[int, list[tuple[Callable, tuple]]] = {}
+        self._periodic: list[_WheelEntry] = []
+        self._armed: set[int] = set()
+        self.slots_fired = 0
+        self.timers_fired = 0
+
+    # -- registration -------------------------------------------------------
+
+    def _slot_of(self, time: float) -> int:
+        """Index of the first slot boundary at or after ``time``."""
+        slot = math.ceil(time / self.slot_width)
+        # float fuzz: ceil(3.0000000000000004/1.0) must stay 3, not 4
+        if (slot - 1) * self.slot_width >= time - 1e-12 * max(1.0, abs(time)):
+            slot -= 1
+        return slot
+
+    def at(self, time: float, fn: Callable, *args) -> None:
+        """Fire ``fn(*args)`` at the first slot boundary >= ``time``."""
+        if time < self.sim.now:
+            raise SimulationError(f"cannot schedule into the past (t={time})")
+        slot = self._slot_of(time)
+        self._oneshot.setdefault(slot, []).append((fn, args))
+        self._arm(slot)
+
+    def after(self, delay: float, fn: Callable, *args) -> None:
+        """Fire ``fn(*args)`` at the first slot boundary >= now + ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self.sim.now + delay, fn, *args)
+
+    def every(self, fn: Callable, *args) -> _WheelEntry:
+        """Fire ``fn(*args)`` on every slot boundary, starting with the next.
+
+        ``fn`` returning ``False`` removes the entry (any other return
+        value keeps it); the returned handle's ``cancel()`` does the same
+        from outside.
+        """
+        entry = _WheelEntry(fn, args)
+        self._periodic.append(entry)
+        self._arm(self._next_boundary())
+        return entry
+
+    def _next_boundary(self) -> int:
+        """The next slot boundary strictly after ``now`` (periodic timers
+        registered exactly on a boundary first fire one slot later)."""
+        return self._slot_of(self.sim.now) + 1 if self._on_boundary() \
+            else self._slot_of(self.sim.now)
+
+    def _on_boundary(self) -> bool:
+        slot = self._slot_of(self.sim.now)
+        return abs(slot * self.slot_width - self.sim.now) <= \
+            1e-12 * max(1.0, abs(self.sim.now))
+
+    # -- firing -------------------------------------------------------------
+
+    def _arm(self, slot: int) -> None:
+        if slot in self._armed:
+            return
+        self._armed.add(slot)
+        delay = max(0.0, slot * self.slot_width - self.sim.now)
+        self.sim.call_later_batched(delay, self._fire, slot)
+
+    def _fire(self, slot: int) -> None:
+        self._armed.discard(slot)
+        self.slots_fired += 1
+        if self._periodic:
+            survivors: list[_WheelEntry] = []
+            snapshot = self._periodic
+            # entries registered by a firing callback land in a fresh list
+            # and first fire on the NEXT boundary
+            self._periodic = []
+            for entry in snapshot:
+                if entry.cancelled:
+                    continue
+                self.timers_fired += 1
+                if entry.fn(*entry.args) is False:
+                    entry.cancelled = True
+                    continue
+                survivors.append(entry)
+            self._periodic = survivors + self._periodic
+        for fn, args in self._oneshot.pop(slot, ()):
+            self.timers_fired += 1
+            fn(*args)
+        if self._periodic:
+            self._arm(slot + 1)
+
+    def __len__(self) -> int:
+        """Live periodic entries (cancelled ones are swept on firing)."""
+        return sum(not e.cancelled for e in self._periodic)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<TimerWheel width={self.slot_width} periodic={len(self)} "
+                f"fired={self.timers_fired}>")

@@ -82,6 +82,15 @@ class RunSpec:
     faults: FaultPlan | None = None
     #: run with a worker-local tracer and ship the RunReport back
     traced: bool = False
+    #: trace sink for ``traced`` runs (docs/scaling.md): "memory" (the
+    #: historical unbounded-ish tracer), "ring" (fixed-capacity window) or
+    #: "jsonl" (spill to ``trace_path``, memory stays bounded)
+    trace_sink: str = "memory"
+    #: sink-specific bound: max buffered events / ring capacity / JSONL
+    #: tail size (None = the sink's default)
+    trace_capacity: int | None = None
+    #: JSONL spill destination (required when ``trace_sink="jsonl"``)
+    trace_path: str | None = None
 
     # -- normalization --------------------------------------------------------
 
@@ -180,10 +189,18 @@ class RunSpec:
         return execute_spec(self, tracer=tracer)
 
     def execute(self):
-        """Run this spec honouring ``traced`` (the engine's unit of work)."""
+        """Run this spec honouring ``traced`` (the engine's unit of work).
+
+        ``trace_sink``/``trace_capacity``/``trace_path`` pick the sink the
+        worker builds (:func:`repro.obs.make_tracer`); the driver closes
+        it when the run ends, flushing any spill buffers.
+        """
         tracer = None
         if self.traced:
-            from repro.obs import Tracer
+            from repro.obs import make_tracer
 
-            tracer = Tracer()
+            tracer = make_tracer(
+                self.trace_sink, capacity=self.trace_capacity,
+                path=self.trace_path,
+            )
         return self.run(tracer=tracer)

@@ -285,6 +285,7 @@ def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
     telemetry = cluster.telemetry
     run_report = None
     if tracer is not None:
+        tracer.close()  # flush any streaming sink before reporting
         run_report = build_run_report(
             telemetry=telemetry,
             network=cluster.network,

@@ -25,6 +25,7 @@ Enable tracing on any run by handing the cluster a recording tracer::
 """
 
 from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+from repro.obs.sinks import JsonlTracer, RingTracer, make_tracer, read_jsonl_trace
 from repro.obs.instruments import RecoveryRecord, RunTelemetry
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.exporters import (
@@ -41,6 +42,10 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "RingTracer",
+    "JsonlTracer",
+    "make_tracer",
+    "read_jsonl_trace",
     "Counter",
     "Gauge",
     "Histogram",

@@ -9,10 +9,11 @@ a Spawner for an :class:`~repro.p2p.messages.AppSpec`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, FaultError
-from repro.des import Simulator
+from repro.des import Simulator, TimerWheel
 from repro.net.address import Address
 from repro.net.host import Host
 from repro.net.topology import Testbed, build_testbed
@@ -25,7 +26,21 @@ from repro.obs.instruments import RunTelemetry
 from repro.util.logging import EventLog
 from repro.util.rng import RngTree
 
-__all__ = ["Cluster", "build_cluster", "launch_application"]
+__all__ = ["Cluster", "build_cluster", "launch_application", "tier_sizes"]
+
+
+def tier_sizes(n_leaves: int, tiers: int, fanout: int) -> list[int]:
+    """Super-Peers per tier, leaves (tier 0) first.
+
+    Each tier above the leaves holds ``ceil(previous / fanout)`` interior
+    Super-Peers; the plan stops early once a tier collapses to one node
+    (a deeper hierarchy over a single root adds hops, not capacity)."""
+    sizes = [n_leaves]
+    for _ in range(1, tiers):
+        if sizes[-1] <= 1:
+            break
+        sizes.append(math.ceil(sizes[-1] / fanout))
+    return sizes
 
 
 @dataclass
@@ -43,6 +58,12 @@ class Cluster:
     spawners: list[Spawner] = field(default_factory=list)
     telemetry: RunTelemetry = field(default_factory=RunTelemetry)
     incarnations: dict[str, int] = field(default_factory=dict)
+    #: the shared heartbeat wheel (``config.heartbeat_mode == "wheel"``)
+    wheel: TimerWheel | None = None
+    #: hierarchy plan (empty in the flat depth-1 topology): child -> parent
+    sp_parent: dict[str, str] = field(default_factory=dict)
+    #: hierarchy plan: parent -> children
+    sp_children: dict[str, list[str]] = field(default_factory=dict)
 
     @property
     def network(self):
@@ -60,7 +81,23 @@ class Cluster:
 
     @property
     def superpeer_addresses(self) -> list[Address]:
-        return [sp.stub.address for sp in self.superpeers]
+        """Bootstrap entry points: the Super-Peers that hold Daemon
+        Registers — every Super-Peer when flat, the tier-0 leaves when
+        tiered (interior Super-Peers index Super-Peers, not Daemons)."""
+        return [sp.stub.address for sp in self.superpeers if sp.tier == 0]
+
+    @property
+    def leaf_superpeers(self) -> list[SuperPeer]:
+        return [sp for sp in self.superpeers if sp.tier == 0]
+
+    def superpeers_of_tier(self, tier: int) -> list[SuperPeer]:
+        return [sp for sp in self.superpeers if sp.tier == tier]
+
+    def superpeer_by_id(self, sp_id: str) -> SuperPeer:
+        for sp in self.superpeers:
+            if sp.sp_id == sp_id:
+                return sp
+        raise ConfigurationError(f"no Super-Peer {sp_id!r} in this cluster")
 
     def registered_daemons(self) -> int:
         return sum(len(sp.register) for sp in self.superpeers)
@@ -78,6 +115,7 @@ class Cluster:
             rng=self.rng.child("daemon", host.name, incarnation),
             log=self.log,
             telemetry=self.telemetry,
+            wheel=self.wheel,
         )
         self.daemons[host.name] = daemon
         return daemon
@@ -95,14 +133,39 @@ class Cluster:
             if old.host is host:
                 replacement = SuperPeer(
                     self.network, host, sp_id=old.sp_id,
-                    config=self.config, log=self.log,
+                    config=self.config, log=self.log, tier=old.tier,
                 )
                 self.superpeers[i] = replacement
-                stubs = [sp.stub for sp in self.superpeers]
-                for sp in self.superpeers:
-                    sp.link(stubs)
+                if not self.sp_parent and not self.sp_children:
+                    # flat topology: re-link the full mesh
+                    stubs = [sp.stub for sp in self.superpeers]
+                    for sp in self.superpeers:
+                        sp.link(stubs)
+                else:
+                    self._rewire_superpeer(replacement)
                 return replacement
         raise FaultError(f"host {host.name!r} runs no Super-Peer")
+
+    def _rewire_superpeer(self, sp: SuperPeer) -> None:
+        """Restore a replacement Super-Peer's hierarchy wiring from the
+        recorded plan.  Addresses are stable, so the rest of the tree's
+        stubs for this node still work; only the replacement's own pointers
+        (and its parent's summary seed) need refreshing — its child
+        summaries then repopulate through the periodic ``tier_summary``
+        oneways."""
+        parent_id = self.sp_parent.get(sp.sp_id)
+        if parent_id is not None:
+            parent = self.superpeer_by_id(parent_id)
+            sp.set_parent(parent.stub)
+            parent.adopt_child(sp.sp_id, sp.stub)
+        for child_id in self.sp_children.get(sp.sp_id, []):
+            child = self.superpeer_by_id(child_id)
+            sp.adopt_child(child.sp_id, child.stub)
+        top_tier = max(peer.tier for peer in self.superpeers)
+        if sp.tier == top_tier:
+            stubs = [peer.stub for peer in self.superpeers_of_tier(top_tier)]
+            for peer in self.superpeers_of_tier(top_tier):
+                peer.link(stubs)
 
 
 def build_cluster(
@@ -131,10 +194,12 @@ def build_cluster(
     sim = sim or Simulator()
     if tracer is not None:
         sim.tracer = tracer
+    sizes = tier_sizes(n_superpeers, config.superpeer_tiers,
+                       config.superpeer_fanout)
     testbed = build_testbed(
         sim,
         n_daemons=n_daemons,
-        n_superpeers=n_superpeers,
+        n_superpeers=sum(sizes),  # leaves + interior tiers
         rng=rng.child("testbed") if (not homogeneous or loss_rate > 0) else None,
         homogeneous=homogeneous,
         link_scale=link_scale,
@@ -143,13 +208,42 @@ def build_cluster(
     log = EventLog()
     cluster = Cluster(sim=sim, testbed=testbed, config=config, rng=rng, log=log)
 
-    for j, host in enumerate(testbed.superpeer_hosts):
-        cluster.superpeers.append(
-            SuperPeer(testbed.network, host, sp_id=f"SP{j}", config=config, log=log)
-        )
-    stubs = [sp.stub for sp in cluster.superpeers]
-    for sp in cluster.superpeers:
-        sp.link(stubs)
+    # tier 0 keeps the historical SP0..SPn-1 ids; interior tiers are
+    # SP-t<tier>.<index> on the extra Super-Peer hosts
+    host_iter = iter(testbed.superpeer_hosts)
+    by_tier: list[list[SuperPeer]] = []
+    for t, size in enumerate(sizes):
+        row = []
+        for k in range(size):
+            sp_id = f"SP{k}" if t == 0 else f"SP-t{t}.{k}"
+            row.append(SuperPeer(testbed.network, next(host_iter), sp_id=sp_id,
+                                 config=config, log=log, tier=t))
+        by_tier.append(row)
+        cluster.superpeers.extend(row)
+
+    if len(by_tier) == 1:
+        # flat: the paper's fully linked mesh
+        stubs = [sp.stub for sp in cluster.superpeers]
+        for sp in cluster.superpeers:
+            sp.link(stubs)
+    else:
+        # hierarchy: contiguous fanout-sized blocks per parent; the top
+        # tier (possibly several roots) is mesh-linked like the flat case
+        for t in range(len(by_tier) - 1):
+            for j, sp in enumerate(by_tier[t]):
+                parent = by_tier[t + 1][min(j // config.superpeer_fanout,
+                                            len(by_tier[t + 1]) - 1)]
+                sp.set_parent(parent.stub)
+                parent.adopt_child(sp.sp_id, sp.stub)
+                cluster.sp_parent[sp.sp_id] = parent.sp_id
+                cluster.sp_children.setdefault(parent.sp_id, []).append(sp.sp_id)
+        top = by_tier[-1]
+        stubs = [sp.stub for sp in top]
+        for sp in top:
+            sp.link(stubs)
+
+    if config.heartbeat_mode == "wheel":
+        cluster.wheel = sim.timer_wheel(config.heartbeat_period)
 
     for host in testbed.daemon_hosts:
         cluster.boot_daemon(host)

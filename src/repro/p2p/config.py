@@ -61,6 +61,25 @@ class P2PConfig:
     #: a version gap.
     broadcast_mode: str = "full"
 
+    # -- swarm-scale topology (docs/scaling.md)
+    #: depth of the Super-Peer hierarchy.  1 = the paper's flat linked
+    #: mesh (every Super-Peer indexes Daemons and forwards to every
+    #: other).  >= 2 partitions membership: tier-0 (leaf) Super-Peers
+    #: hold Daemon Registers, higher tiers index only their child
+    #: Super-Peers' liveness summaries, and reservation demand forwards
+    #: across tier boundaries — no actor holds O(cluster) state.
+    superpeer_tiers: int = 1
+    #: children per interior Super-Peer when building a hierarchy
+    superpeer_fanout: int = 4
+    #: "process" = one DES heartbeat process per Daemon (the historical,
+    #: bitwise-stable default).  "wheel" = all idle heartbeats ride one
+    #: slotted :class:`~repro.des.kernel.TimerWheel` — O(1) heap entries
+    #: per period for the whole swarm (docs/scaling.md).
+    heartbeat_mode: str = "process"
+    #: in wheel mode, every Nth beat is a call-based reaffirm (detects a
+    #: dead Super-Peer); the rest are fire-and-forget oneways
+    wheel_reaffirm_every: int = 25
+
     # -- execution pacing
     #: floor on per-iteration duration: bounds the event rate of a task
     #: spinning on stale data (real Jace iterations also have JVM overhead)
@@ -93,6 +112,14 @@ class P2PConfig:
             raise ConfigurationError("verification_dwell must be positive")
         if self.broadcast_mode not in ("full", "delta"):
             raise ConfigurationError("broadcast_mode must be 'full' or 'delta'")
+        if self.superpeer_tiers < 1:
+            raise ConfigurationError("superpeer_tiers must be >= 1")
+        if self.superpeer_fanout < 2:
+            raise ConfigurationError("superpeer_fanout must be >= 2")
+        if self.heartbeat_mode not in ("process", "wheel"):
+            raise ConfigurationError("heartbeat_mode must be 'process' or 'wheel'")
+        if self.wheel_reaffirm_every < 1:
+            raise ConfigurationError("wheel_reaffirm_every must be >= 1")
         ports = {self.superpeer_port, self.daemon_port, self.spawner_port}
         if len(ports) != 3:
             raise ConfigurationError("entity ports must be distinct")

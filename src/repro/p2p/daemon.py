@@ -17,11 +17,12 @@ strategy is designed to survive.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any
 
 from repro.checkpoint import Backup, BackupPolicy, BackupStore, choose_latest
 from repro.convergence import LocalConvergenceDetector
-from repro.des import Simulator
+from repro.des import Simulator, TimerWheel
 from repro.errors import ConfigurationError, RemoteError, TaskError
 from repro.net.address import Address
 from repro.net.host import BASE_FLOPS, Host
@@ -261,6 +262,7 @@ class Daemon(RemoteObject):
         rng: RngTree,
         log: EventLog | None = None,
         telemetry: RunTelemetry | None = None,
+        wheel: TimerWheel | None = None,
     ):
         if not superpeer_addresses:
             raise ConfigurationError("a Daemon needs at least one Super-Peer address")
@@ -288,7 +290,17 @@ class Daemon(RemoteObject):
             call_timeout=config.call_timeout,
         )
         self.stub = self.runtime.serve(self, DAEMON_OBJECT)
-        host.spawn(self._life(), label=f"{daemon_id}:life")
+        self.wheel = wheel if config.heartbeat_mode == "wheel" else None
+        if self.wheel is not None:
+            # Swarm mode (docs/scaling.md): no per-Daemon life process.
+            # All idle/computing heartbeats ride the shared timer wheel;
+            # the reaffirm phase is hash-staggered so the call-based beats
+            # don't all land on the same slot.
+            self._bootstrapping = False
+            self._beats = zlib.crc32(daemon_id.encode()) % config.wheel_reaffirm_every
+            self.wheel.every(self._tick)
+        else:
+            host.spawn(self._life(), label=f"{daemon_id}:life")
 
     # -- bootstrap + heartbeats (§5.1, §5.3) ----------------------------------
 
@@ -360,7 +372,78 @@ class Daemon(RemoteObject):
                 return
         yield self.sim.timeout(self.config.bootstrap_retry_delay)
 
+    # -- wheel-mode heartbeating (docs/scaling.md) -----------------------------
+
+    def _tick(self):
+        """One timer-wheel beat: the wheel-mode replacement for
+        :meth:`_life`'s loop body.  Returning ``False`` deregisters this
+        Daemon from the wheel (its host died; a fresh incarnation re-joins
+        through the cluster reboot hook)."""
+        if not self.runtime.alive:
+            return False
+        if self.runner is not None:
+            self.runtime.oneway(
+                self.runner.spawner_stub, "heartbeat_task",
+                self.runner.app_id, self.runner.task_id,
+                self.runner.epoch, self.daemon_id,
+                self.runner.detector.stable,
+                self.runner.register.version,
+            )
+            return None
+        if not self.registered:
+            self._ensure_bootstrap()
+            return None
+        self._beats += 1
+        if self._beats % self.config.wheel_reaffirm_every == 0:
+            # the call-based reaffirm: oneways to a dead Super-Peer vanish
+            # silently, so every Nth beat must actually await an answer
+            self.host.spawn(self._reaffirm(self.sp_stub),
+                            label=f"{self.daemon_id}:reaffirm")
+        else:
+            self.runtime.oneway(
+                self.sp_stub, "heartbeat_oneway", self.daemon_id, self.stub
+            )
+        return None
+
+    def _ensure_bootstrap(self) -> None:
+        """Spawn one bootstrap attempt if none is in flight (wheel ticks
+        are plain callbacks and cannot yield on RMI calls themselves)."""
+        if self._bootstrapping:
+            return
+        self._bootstrapping = True
+        self.host.spawn(self._bootstrap_once(), label=f"{self.daemon_id}:bootstrap")
+
+    def _bootstrap_once(self):
+        try:
+            yield from self._bootstrap()
+        finally:
+            self._bootstrapping = False
+
+    def _reaffirm(self, sp_stub: Stub):
+        try:
+            known = yield self.runtime.call(
+                sp_stub, "heartbeat", self.daemon_id,
+                timeout=min(self.config.call_timeout, self.config.heartbeat_period),
+            )
+        except RemoteError:
+            if self.sp_stub == sp_stub:
+                self._log("daemon_superpeer_lost", superpeer=str(sp_stub))
+                self.registered = False
+                self.sp_stub = None
+            return
+        if not known and self.runner is None and self.sp_stub == sp_stub:
+            self.registered = False  # evicted: re-register next tick
+
     # -- remote interface ---------------------------------------------------------
+
+    @remote
+    def notify_unknown(self, sp_id: str) -> None:
+        """Nack for a wheel-mode oneway heartbeat: the Super-Peer we just
+        beat does not know us (eviction, or a rebooted replacement with an
+        empty Register) — re-bootstrap on the next tick."""
+        if self.runner is None:
+            self._log("daemon_unknown_nack", superpeer=sp_id)
+            self.registered = False
 
     @remote
     def assign_task(

@@ -292,9 +292,12 @@ class Spawner(RemoteObject):
         for addr in addresses:
             sp = Stub(SUPERPEER_OBJECT, addr)
             try:
+                # a forwarded request may walk the whole mesh — and, when
+                # tiered, each hop may recurse through the hierarchy
                 pairs = yield self.runtime.call(
                     sp, "reserve", count, (),
-                    timeout=self.config.call_timeout * max(1, len(addresses)),
+                    timeout=(self.config.call_timeout * max(1, len(addresses))
+                             * max(1, self.config.superpeer_tiers)),
                 )
             except RemoteError:
                 continue

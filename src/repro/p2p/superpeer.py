@@ -4,6 +4,16 @@ A Super-Peer keeps a **Register** of the RMI stubs of the idle Daemons
 connected to it, monitors their heartbeats with a timeout protocol, answers
 reservation requests from Spawners, and forwards unmet demand to the other
 Super-Peers it is linked to (the hybrid-topology forwarding of Fig. 2/4).
+
+Swarm scale (``config.superpeer_tiers >= 2``, docs/scaling.md) arranges
+Super-Peers into a hierarchy: tier-0 *leaves* keep Daemon Registers exactly
+as above, while interior Super-Peers index only their child Super-Peers'
+**liveness summaries** (``sp_id``, stub, idle count, last heard) — aggregated
+liveness, not per-peer beats, is all that crosses a tier boundary.
+Reservation demand forwards down to the idlest subtree, up to the parent,
+and sideways across the top-tier mesh, with a visited set preventing loops;
+a child whose summaries go stale is evicted together with its whole subtree's
+idle count.
 """
 
 from __future__ import annotations
@@ -18,7 +28,7 @@ from repro.p2p.config import P2PConfig
 from repro.rmi import RemoteObject, RmiRuntime, Stub, remote
 from repro.util.logging import EventLog
 
-__all__ = ["SuperPeer", "DaemonRecord"]
+__all__ = ["SuperPeer", "DaemonRecord", "ChildSummary"]
 
 #: name under which every Super-Peer exports itself
 SUPERPEER_OBJECT = "superpeer"
@@ -33,6 +43,17 @@ class DaemonRecord:
     last_seen: float
 
 
+@dataclass
+class ChildSummary:
+    """An interior Super-Peer's view of one child subtree: the aggregated
+    liveness summary that replaces per-Daemon bookkeeping above tier 0."""
+
+    sp_id: str
+    stub: Stub
+    idle: int
+    last_seen: float
+
+
 class SuperPeer(RemoteObject):
     """One Super-Peer entity."""
 
@@ -43,6 +64,7 @@ class SuperPeer(RemoteObject):
         sp_id: str,
         config: P2PConfig,
         log: EventLog | None = None,
+        tier: int = 0,
     ):
         self.sim: Simulator = network.sim
         self.network = network
@@ -50,10 +72,16 @@ class SuperPeer(RemoteObject):
         self.sp_id = sp_id
         self.config = config
         self.log = log
+        self.tier = tier
         self.register: dict[str, DaemonRecord] = {}
         self.neighbour_stubs: list[Stub] = []
+        #: hierarchy wiring (empty/None in the flat depth-1 topology)
+        self.parent_stub: Stub | None = None
+        self.child_summaries: dict[str, ChildSummary] = {}
         self.evictions = 0
+        self.subtree_evictions = 0
         self.forwarded_requests = 0
+        self.summaries_sent = 0
         self.runtime = RmiRuntime(
             network, host, config.superpeer_port, name=sp_id, log=log,
             call_timeout=config.call_timeout,
@@ -67,6 +95,22 @@ class SuperPeer(RemoteObject):
         """Connect this Super-Peer to the others (they "are linked
         together", §5.1).  Self is filtered out defensively."""
         self.neighbour_stubs = [s for s in neighbours if s.address != self.stub.address]
+
+    def set_parent(self, parent: Stub | None) -> None:
+        """Attach this Super-Peer under an interior Super-Peer one tier up."""
+        self.parent_stub = parent
+
+    def adopt_child(self, sp_id: str, stub: Stub, idle: int = 0) -> None:
+        """Seed a child subtree's summary (cluster build / recovery);
+        the child's periodic :meth:`tier_summary` oneways keep it fresh."""
+        self.child_summaries[sp_id] = ChildSummary(sp_id, stub, idle, self.sim.now)
+
+    def subtree_idle(self) -> int:
+        """Idle Daemons in this Super-Peer's whole subtree (register for a
+        leaf, last-heard child summaries above)."""
+        return len(self.register) + sum(
+            c.idle for c in self.child_summaries.values()
+        )
 
     # -- remote interface ------------------------------------------------------
 
@@ -100,6 +144,28 @@ class SuperPeer(RemoteObject):
         return True
 
     @remote
+    def heartbeat_oneway(self, daemon_id: str, stub: Stub) -> None:
+        """Wheel-mode liveness beat (docs/scaling.md).
+
+        Fire-and-forget: no reply event, no caller watchdog.  An unknown
+        sender (evicted, or beating a rebooted Super-Peer) gets a oneway
+        ``notify_unknown`` nack telling it to re-bootstrap — the pull
+        answer the call-based :meth:`heartbeat` returns as ``False``."""
+        record = self.register.get(daemon_id)
+        if record is None:
+            self._trace("heartbeat_nack", daemon=daemon_id)
+            self.runtime.oneway(stub, "notify_unknown", self.sp_id)
+            return
+        record.last_seen = self.sim.now
+
+    @remote
+    def tier_summary(self, sp_id: str, stub: Stub, idle: int) -> None:
+        """Aggregated liveness from a child Super-Peer: its subtree's idle
+        count, refreshed every monitor period.  This summary — not the
+        per-Daemon beats behind it — is all that crosses a tier boundary."""
+        self.child_summaries[sp_id] = ChildSummary(sp_id, stub, idle, self.sim.now)
+
+    @remote
     def reserve_local(self, count: int) -> list[tuple[str, Stub]]:
         """Hand over up to ``count`` registered Daemons (removing them from
         the Register: reserved peers are "no longer registered to the
@@ -117,16 +183,33 @@ class SuperPeer(RemoteObject):
 
     @remote
     def reserve(self, count: int, visited: tuple[str, ...] = ()):
-        """Reserve ``count`` Daemons, forwarding unmet demand to neighbour
+        """Reserve ``count`` Daemons, forwarding unmet demand to the other
         Super-Peers (Fig. 2: SP1 reserves D3 on SP2).
 
-        ``visited`` carries the addresses of the Super-Peers already
-        consulted so a request never loops.  Returns a (possibly short)
-        list of ``(daemon_id, stub)`` pairs.
+        Forwarding order: the local Register first, then *down* into child
+        subtrees (idlest first, per their last summaries), then *up* to the
+        parent tier, then sideways to linked neighbours — in the flat
+        depth-1 topology only the neighbour leg exists, which is exactly
+        the paper's behaviour.  ``visited`` carries the addresses of the
+        Super-Peers already consulted so a request never loops.  Returns a
+        (possibly short) list of ``(daemon_id, stub)`` pairs.
         """
         picked = self.reserve_local(count)
         visited = tuple(visited) + (str(self.stub.address),)
-        for nb in self.neighbour_stubs:
+        targets: list[Stub] = [
+            c.stub
+            for c in sorted(self.child_summaries.values(),
+                            key=lambda c: (-c.idle, c.sp_id))
+            if c.idle > 0
+        ]
+        if self.parent_stub is not None:
+            targets.append(self.parent_stub)
+        targets.extend(self.neighbour_stubs)
+        # a forwarded request may itself traverse a whole tier chain
+        forward_timeout = self.config.call_timeout * max(
+            1, self.config.superpeer_tiers
+        )
+        for nb in targets:
             if len(picked) >= count:
                 break
             if str(nb.address) in visited:
@@ -135,7 +218,7 @@ class SuperPeer(RemoteObject):
             self.forwarded_requests += 1
             try:
                 extra = yield self.runtime.call(
-                    nb, "reserve", need, visited, timeout=self.config.call_timeout
+                    nb, "reserve", need, visited, timeout=forward_timeout
                 )
             except RemoteError:
                 continue  # that Super-Peer is down; try the next one
@@ -163,6 +246,23 @@ class SuperPeer(RemoteObject):
                 self.evictions += 1
                 self._log("sp_evict", daemon=daemon_id)
                 self._trace("evict", daemon=daemon_id)
+            if self.child_summaries:
+                # a child gone silent takes its WHOLE subtree's idle count
+                # with it; the Daemons below re-register via their own
+                # heartbeat nacks / timeouts
+                dead = [sid for sid, c in self.child_summaries.items()
+                        if c.last_seen < deadline]
+                for sid in dead:
+                    lost = self.child_summaries.pop(sid)
+                    self.subtree_evictions += 1
+                    self._log("sp_evict_subtree", child=sid, idle_lost=lost.idle)
+                    self._trace("evict_subtree", child=sid, idle_lost=lost.idle)
+            if self.parent_stub is not None:
+                self.summaries_sent += 1
+                self.runtime.oneway(
+                    self.parent_stub, "tier_summary",
+                    self.sp_id, self.stub, self.subtree_idle(),
+                )
 
     def _log(self, kind: str, **detail) -> None:
         if self.log is not None:
@@ -174,4 +274,6 @@ class SuperPeer(RemoteObject):
             tr.emit(self.sim.now, "p2p", self.sp_id, kind, **attrs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<SuperPeer {self.sp_id} register={len(self.register)}>"
+        return (f"<SuperPeer {self.sp_id} tier={self.tier} "
+                f"register={len(self.register)} "
+                f"children={len(self.child_summaries)}>")

@@ -1,0 +1,171 @@
+"""Tests for the bounded/streaming trace sinks (repro.obs.sinks).
+
+Ring-buffer capacity and drop accounting, JSONL spill + segment rotation
+round-trips, the ``make_tracer`` factory behind RunSpec's ``trace_sink``
+knob, and the end-to-end plumbing: a traced run on a bounded sink still
+produces a full :class:`RunReport`.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import RunSpec
+from repro.obs import (
+    JsonlTracer,
+    RingTracer,
+    Tracer,
+    make_tracer,
+    read_jsonl_trace,
+)
+
+
+def fill(tracer, n, kind="k"):
+    for i in range(n):
+        tracer.emit(float(i), "cat", f"e{i}", kind, i=i)
+
+
+# -- ring sink ---------------------------------------------------------------
+
+
+def test_ring_keeps_newest_window():
+    tr = RingTracer(capacity=10)
+    fill(tr, 25)
+    assert len(tr.events) == 10
+    assert [ev.time for ev in tr.events] == [float(t) for t in range(15, 25)]
+    assert tr.dropped == 15
+    # counts stay exact over the WHOLE run, not just the window
+    assert tr.counts[("cat", "k")] == 25
+
+
+def test_ring_under_capacity_drops_nothing():
+    tr = RingTracer(capacity=10)
+    fill(tr, 7)
+    assert len(tr.events) == 7
+    assert tr.dropped == 0
+
+
+def test_ring_select_works_on_window():
+    tr = RingTracer(capacity=5)
+    fill(tr, 8, kind="a")
+    tr.emit(99.0, "cat", "x", "b")
+    assert [ev.kind for ev in tr.select(kind="b")] == ["b"]
+    assert len(list(tr.select(kind="a"))) == 4  # the 4 "a"s still in window
+
+
+def test_ring_rejects_bad_capacity():
+    with pytest.raises(ConfigurationError):
+        RingTracer(capacity=0)
+
+
+# -- jsonl sink --------------------------------------------------------------
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tr = JsonlTracer(path, flush_every=4)
+    fill(tr, 10)
+    tr.close()
+    events = read_jsonl_trace(path)
+    assert len(events) == 10
+    assert [ev.time for ev in events] == [float(i) for i in range(10)]
+    assert events[3].attrs == {"i": 3}
+    assert tr.written == 10
+
+
+def test_jsonl_close_flushes_partial_batch(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tr = JsonlTracer(path, flush_every=1000)
+    fill(tr, 3)
+    assert tr.written == 0  # still buffered
+    tr.close()
+    assert tr.written == 3
+    assert len(read_jsonl_trace(path)) == 3
+
+
+def test_jsonl_rotation_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    # tiny max_bytes: every flushed batch forces a rotation
+    tr = JsonlTracer(path, flush_every=5, max_bytes=64)
+    fill(tr, 25)
+    tr.close()
+    assert tr.segments >= 2
+    for piece in tr.segment_paths():
+        assert piece.exists()
+    # chronological reassembly across all segments, no loss, no reorder
+    events = read_jsonl_trace(path)
+    assert [ev.time for ev in events] == [float(i) for i in range(25)]
+    assert [ev.seq for ev in events] == sorted(ev.seq for ev in events)
+
+
+def test_jsonl_tail_ring_is_bounded(tmp_path):
+    tr = JsonlTracer(tmp_path / "t.jsonl", flush_every=10, tail_events=8)
+    fill(tr, 50)
+    assert len(tr.events) == 8
+    assert tr.counts[("cat", "k")] == 50
+
+
+def test_jsonl_lines_are_valid_json(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tr = JsonlTracer(path, flush_every=1)
+    tr.emit(1.5, "rmi", "SP0", "call", method="reserve", count=3)
+    tr.close()
+    rec = json.loads(path.read_text().strip())
+    assert rec["kind"] == "call"
+    assert rec["attrs"] == {"method": "reserve", "count": 3}
+
+
+# -- factory -----------------------------------------------------------------
+
+
+def test_make_tracer_dispatch(tmp_path):
+    assert type(make_tracer("memory")) is Tracer
+    assert isinstance(make_tracer("ring", capacity=5), RingTracer)
+    jt = make_tracer("jsonl", capacity=7, path=tmp_path / "t.jsonl")
+    assert isinstance(jt, JsonlTracer)
+    assert jt.events.maxlen == 7  # capacity maps to the tail ring
+
+
+def test_make_tracer_rejects_unknown_and_pathless(tmp_path):
+    with pytest.raises(ConfigurationError):
+        make_tracer("sqlite")
+    with pytest.raises(ConfigurationError):
+        make_tracer("jsonl")  # no path
+
+
+def test_base_tracer_close_is_noop():
+    tr = Tracer()
+    tr.emit(0.0, "c", "e", "k")
+    tr.close()  # drivers close every sink unconditionally
+    assert len(tr.events) == 1
+
+
+# -- RunSpec plumbing --------------------------------------------------------
+
+
+def test_runspec_traced_run_on_ring_sink():
+    result = RunSpec(n=12, peers=2, traced=True, trace_sink="ring",
+                     trace_capacity=500).execute()
+    assert result.converged
+    report = result.run_report
+    assert report is not None
+    assert report.event_counts  # counts survived the bounded window
+
+
+def test_runspec_traced_run_on_jsonl_sink(tmp_path):
+    path = tmp_path / "run.jsonl"
+    result = RunSpec(n=12, peers=2, traced=True, trace_sink="jsonl",
+                     trace_path=str(path)).execute()
+    assert result.converged
+    assert result.run_report is not None
+    events = read_jsonl_trace(path)
+    assert events  # the run streamed to disk and closed cleanly
+    kinds = {ev.kind for ev in events}
+    assert "register" in kinds
+
+
+def test_runspec_key_covers_sink_fields(tmp_path):
+    base = RunSpec(n=12, peers=2, traced=True)
+    ring = RunSpec(n=12, peers=2, traced=True, trace_sink="ring")
+    assert base.key() != ring.key()

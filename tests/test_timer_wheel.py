@@ -1,0 +1,205 @@
+"""Tests for the slotted TimerWheel and batched kernel scheduling.
+
+The wheel is the swarm-scale heartbeat substrate (docs/scaling.md): these
+tests pin the quantization rule (round *up* to a slot boundary, never fire
+early), the in-slot firing order, the next-boundary semantics for entries
+registered mid-fire, and — the point of the exercise — that a wheel full
+of timers costs one kernel event per slot where the per-process reference
+pays one per timer.
+"""
+
+import pytest
+
+from repro.des import Simulator, TimerWheel
+from repro.errors import SimulationError
+
+WIDTH = 0.1
+
+
+def make_wheel(width=WIDTH):
+    sim = Simulator()
+    return sim, sim.timer_wheel(width)
+
+
+# -- one-shot quantization ----------------------------------------------------
+
+
+def test_after_rounds_up_to_slot_boundary():
+    sim, wheel = make_wheel()
+    fired = []
+    wheel.after(0.25, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [pytest.approx(0.3)]
+
+
+def test_at_on_exact_boundary_fires_on_that_boundary():
+    sim, wheel = make_wheel()
+    fired = []
+    wheel.at(0.2, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [pytest.approx(0.2)]
+    assert wheel.slots_fired == 1
+
+
+def test_same_slot_fires_in_registration_order():
+    sim, wheel = make_wheel()
+    order = []
+    wheel.after(0.28, order.append, "a")
+    wheel.after(0.21, order.append, "b")  # different delay, same slot (0.3)
+    wheel.after(0.30, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert wheel.slots_fired == 1  # one kernel event served all three
+    assert wheel.timers_fired == 3
+
+
+def test_float_fuzz_does_not_skip_a_slot():
+    # 3 * 0.1 accumulates to 0.30000000000000004; a timer for "0.3" must
+    # still land on slot 3, not slip to slot 4
+    sim, wheel = make_wheel()
+    fired = []
+    wheel.at(3 * 0.1, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired and fired[0] == pytest.approx(0.3, abs=1e-9)
+    assert wheel.slots_fired == 1
+
+
+def test_scheduling_into_the_past_rejected():
+    sim, wheel = make_wheel()
+    sim.run(until=0.5)
+    with pytest.raises(SimulationError):
+        wheel.at(0.2, lambda: None)
+    with pytest.raises(SimulationError):
+        wheel.after(-0.1, lambda: None)
+
+
+def test_zero_slot_width_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timer_wheel(0.0)
+
+
+# -- periodic timers ----------------------------------------------------------
+
+
+def test_every_fires_each_boundary_until_false():
+    sim, wheel = make_wheel()
+    times = []
+
+    def tick():
+        times.append(round(sim.now, 10))
+        return len(times) < 4  # deregister after the 4th firing
+
+    wheel.every(tick)
+    sim.run(until=2.0)
+    assert times == [pytest.approx(t) for t in (0.1, 0.2, 0.3, 0.4)]
+    assert len(wheel) == 0  # returning False removed the entry
+
+
+def test_every_cancel_handle():
+    sim, wheel = make_wheel()
+    times = []
+    entry = wheel.every(lambda: times.append(sim.now))
+    sim.process(_cancel_at(sim, entry, 0.35))
+    sim.run(until=1.0)
+    assert len(times) == 3  # 0.1, 0.2, 0.3; cancelled before 0.4
+
+
+def _cancel_at(sim, entry, when):
+    yield sim.timeout(when)
+    entry.cancel()
+
+
+def test_registration_during_firing_starts_next_boundary():
+    sim, wheel = make_wheel()
+    log = []
+
+    def inner():
+        log.append(("inner", round(sim.now, 10)))
+        return False
+
+    def outer():
+        log.append(("outer", round(sim.now, 10)))
+        if len(log) == 1:
+            wheel.every(inner)  # registered mid-fire: must NOT run this slot
+        return len([e for e in log if e[0] == "outer"]) < 2
+
+    wheel.every(outer)
+    sim.run(until=1.0)
+    assert log == [
+        ("outer", pytest.approx(0.1)),
+        ("outer", pytest.approx(0.2)),
+        ("inner", pytest.approx(0.2)),
+    ]
+
+
+# -- wheel vs per-process reference -------------------------------------------
+
+
+def test_wheel_matches_per_process_reference_times():
+    """N periodic wheel timers fire at exactly the times N dedicated DES
+    processes sleeping the slot width would — same timestamps, same
+    per-boundary grouping — while costing one kernel event per slot."""
+    N, HORIZON = 50, 1.0
+
+    # reference arm: one process per timer
+    ref_sim = Simulator()
+    ref_times: list[list[float]] = [[] for _ in range(N)]
+
+    def beater(env, out):
+        while True:
+            yield env.timeout(WIDTH)
+            out.append(round(env.now, 10))
+
+    for i in range(N):
+        ref_sim.process(beater(ref_sim, ref_times[i]))
+    ref_sim.run(until=HORIZON)
+
+    # wheel arm: one wheel, N entries
+    sim, wheel = make_wheel()
+    wheel_times: list[list[float]] = [[] for _ in range(N)]
+    for i in range(N):
+        wheel.every(lambda out=wheel_times[i]: out.append(round(sim.now, 10)))
+    sim.run(until=HORIZON)
+
+    assert wheel_times == ref_times
+    # cost collapse: the reference pays ~N events per boundary, the wheel
+    # pays one (10 boundaries over the horizon)
+    assert wheel.slots_fired == 10
+    assert wheel.timers_fired == N * 10
+    assert sim.event_count < ref_sim.event_count / (N / 4)
+
+
+def test_wheel_stops_arming_when_empty():
+    sim, wheel = make_wheel()
+    wheel.every(lambda: False)  # fires once, deregisters
+    sim.run()
+    # schedule drained: no perpetual re-arming of empty slots
+    assert sim.now == pytest.approx(0.1)
+    assert wheel.slots_fired == 1
+
+
+# -- batched scheduling -------------------------------------------------------
+
+
+def test_call_later_batched_coalesces_same_fire_time():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.call_later_batched(1.0, order.append, i)
+    sim.call_later_batched(2.0, order.append, "late")
+    sim.run()
+    assert order == [0, 1, 2, 3, 4, "late"]
+    # five callbacks at t=1.0 shared one heap entry: 4 coalesced
+    assert sim.batched_calls == 4
+    assert sim.event_count == 2
+
+
+def test_batched_and_unbatched_same_time_coexist():
+    sim = Simulator()
+    seen = []
+    sim.call_later(1.0, seen.append, "plain")
+    sim.call_later_batched(1.0, seen.append, "batched")
+    sim.run()
+    assert sorted(seen) == ["batched", "plain"]
+    assert sim.now == 1.0
