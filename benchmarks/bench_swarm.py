@@ -16,7 +16,11 @@ process.  The run must converge on CI-class hardware; the committed
   arm: kernel events processed by an idle 1,000-Daemon cluster in process
   mode divided by the same cluster in wheel mode over the same simulated
   window.  This is the kernel-level cost collapse itself, immune to
-  runner speed.
+  runner speed,
+* ``profile_top`` — the top-10 functions by cumulative time from a
+  profiled smoke-scale run (:mod:`repro.obs.profile`): the committed
+  baseline doubles as a where-does-the-time-go ledger, so a future
+  regression can be diffed against it function by function.
 
 ``scripts/check_bench_regression.py`` gates all of the above against the
 committed baseline.  Environment knobs:
@@ -108,6 +112,20 @@ def _idle_events(heartbeat_mode: str) -> int:
     return cluster.sim.event_count
 
 
+def _profile_top(top_n: int = 10) -> list:
+    """Per-function attribution of a profiled smoke-scale swarm run.
+
+    Profiled *separately* from the timed arm (cProfile's tracing hook
+    would poison ``wall_seconds``), at SMOKE scale so full-scale baseline
+    recording stays tractable."""
+    from repro.obs.profile import profile_callable
+
+    report, _ = profile_callable(
+        lambda: _run_swarm(SMOKE_DAEMONS), top_n=top_n
+    )
+    return report.as_dict()["top"]
+
+
 def test_swarm_scale(record_json):
     smoke = os.environ.get("REPRO_SWARM_SMOKE") == "1"
     daemons = int(os.environ.get(
@@ -118,6 +136,9 @@ def test_swarm_scale(record_json):
     events_process = _idle_events("process")
     events_wheel = _idle_events("wheel")
     collapse = events_process / events_wheel
+
+    # -- where-does-the-time-go ledger (separate profiled smoke run)
+    profile_top = _profile_top()
 
     # -- the swarm run
     cluster, spawner, wall = _run_swarm(daemons)
@@ -151,6 +172,7 @@ def test_swarm_scale(record_json):
         "idle_events_process": events_process,
         "idle_events_wheel": events_wheel,
         "heartbeat_collapse_ratio": round(collapse, 2),
+        "profile_top": profile_top,
         "smoke": smoke,
     }
     record_json("swarm_smoke" if smoke else "BENCH_swarm", payload)

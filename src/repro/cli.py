@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli ablation {checkpoint,backup,overlap,bootstrap}
     python -m repro.cli trace --disconnections 3 --out run.jsonl
     python -m repro.cli report --disconnections 3
+    python -m repro.cli profile --n 16 --peers 3 --top 15 --json prof.json
     python -m repro.cli faults list
     python -m repro.cli faults run perfect-storm --quick
     python -m repro.cli cache {stats,clear}
@@ -161,6 +162,19 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=7)
     report.add_argument("--markdown", action="store_true",
                         help="emit markdown instead of plain text")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one run under cProfile: per-layer time attribution",
+    )
+    profile.add_argument("--n", type=int, default=48)
+    profile.add_argument("--peers", type=int, default=6)
+    profile.add_argument("--disconnections", type=int, default=0)
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="functions to list by cumulative time")
+    profile.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the report as JSON")
     return parser
 
 
@@ -322,6 +336,30 @@ def _cmd_report(args) -> int:
     return 0 if result.converged else 1
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from repro.experiments import run_poisson_on_p2p
+    from repro.obs.profile import profile_callable
+
+    report, result = profile_callable(
+        lambda: run_poisson_on_p2p(
+            n=args.n, peers=args.peers, disconnections=args.disconnections,
+            seed=args.seed,
+        ),
+        top_n=args.top,
+    )
+    print(report.to_text())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
+    if not result.converged:
+        print("WARNING: did not converge within the horizon", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_ablation(args) -> int:
     maker = {
         "checkpoint": checkpoint_frequency_ablation,
@@ -392,6 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         "timeline": _cmd_timeline,
         "trace": _cmd_trace,
         "report": _cmd_report,
+        "profile": _cmd_profile,
         "faults": _cmd_faults,
         "cache": _cmd_cache,
     }[args.command]

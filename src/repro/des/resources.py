@@ -79,6 +79,14 @@ class Store:
             self._getters.append(ev)
         return ev
 
+    def has_live_getter(self) -> bool:
+        """True when at least one waiter would consume a ``put`` right now
+        (pending, not orphaned by an interrupt)."""
+        for getter in self._getters:
+            if not getter.triggered and not getter.orphaned:
+                return True
+        return False
+
     def get_nowait(self) -> Any | None:
         """Pop an item if one is buffered, else None (non-blocking)."""
         if self.items:

@@ -15,7 +15,7 @@ from repro.errors import ConfigurationError
 __all__ = ["Address"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Address:
     """Immutable (host, port) pair.
 

@@ -48,6 +48,19 @@ class Endpoint:
         self.address = Address(host.name, port)
         self.mailbox = Store(host.sim, capacity=capacity, name=str(self.address))
         self.closed = False
+        #: optional zero-copy dispatch hook for the oneway fast path
+        #: (:meth:`repro.net.network.Network.send` with ``fast=True``):
+        #: called with the *payload* (not the Message) when the endpoint
+        #: is idle — the RMI runtime registers its oneway dispatcher here
+        self.fast_handler: Callable[[Any], None] | None = None
+
+    def ready_for_fast_dispatch(self) -> bool:
+        """True when a fast delivery may bypass the mailbox right now:
+        no buffered backlog ahead of it, and a live consumer is blocked on
+        ``recv()`` (so the object path would have dispatched this message
+        on the very next kernel step anyway — bypassing preserves FIFO)."""
+        mb = self.mailbox
+        return not mb.items and mb.has_live_getter()
 
     def recv(self):
         """Event firing with the next message (FIFO)."""

@@ -29,6 +29,41 @@ class LinkModel:
         raise NotImplementedError
 
 
+class _JitterStream:
+    """Block-buffered jitter factors, bitwise-identical to scalar draws.
+
+    numpy's ``Generator`` consumes one double from the bitstream per scalar
+    ``uniform(low, high)`` call and per element of a batched ``random(n)``
+    fill, and the scalar result is ``low + (high - low) * u`` — so serving
+    draws from a pre-filled block reproduces the exact sequence the scalar
+    calls would produce while paying the numpy call overhead once per
+    block instead of once per message.  Safe only because the link model
+    owns a dedicated RNG subtree (``rng.child("links")``) that nothing
+    else draws from.
+    """
+
+    __slots__ = ("generator", "low", "span", "_buf", "_pos")
+
+    _BLOCK = 1024
+
+    def __init__(self, rng: RngTree, jitter: float):
+        self.generator = rng.generator
+        self.low = -jitter
+        # bitwise-identical to numpy's internal ``high - low``: jitter
+        # magnitudes are symmetric, and ``j - (-j)`` is exact in binary64
+        self.span = jitter - (-jitter)
+        self._buf = None
+        self._pos = 0
+
+    def factor(self) -> float:
+        buf, pos = self._buf, self._pos
+        if buf is None or pos == self._BLOCK:
+            buf = self._buf = self.generator.random(self._BLOCK)
+            pos = 0
+        self._pos = pos + 1
+        return 1.0 + (self.low + self.span * float(buf[pos]))
+
+
 @dataclass
 class UniformLinkModel(LinkModel):
     """Same latency/bandwidth for every pair — a homogeneous LAN.
@@ -55,13 +90,16 @@ class UniformLinkModel(LinkModel):
             raise ConfigurationError("latency must be >=0 and bandwidth >0")
         if self.jitter and self.rng is None:
             raise ConfigurationError("jitter requires an RngTree")
+        self._jitter_stream = (
+            _JitterStream(self.rng, self.jitter) if self.jitter else None
+        )
 
     def delay(self, src: Host, dst: Host, nbytes: int) -> float:
         if src is dst:
             return 1e-6  # loop-back
         d = self.latency + nbytes / self.bandwidth
-        if self.jitter:
-            d *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        if self._jitter_stream is not None:
+            d *= self._jitter_stream.factor()
         return d
 
 
@@ -103,21 +141,41 @@ class HeterogeneousLinkModel(LinkModel):
         self.rng = rng
         if self.jitter and rng is None:
             raise ConfigurationError("jitter requires an RngTree")
+        self._jitter_stream = (
+            _JitterStream(rng, self.jitter) if self.jitter else None
+        )
+        # host tags are immutable (a tuple fixed at construction), so the
+        # tag walk resolves to the same class forever: memoize per host —
+        # class_of runs twice per message send
+        self._class_cache: dict[Host, NetClass] = {}
 
     def class_of(self, host: Host) -> NetClass:
-        for tag in host.tags:
-            cls = self.classes.get(tag)
-            if cls is not None:
-                return cls
-        return self.default_class
+        cls = self._class_cache.get(host)
+        if cls is None:
+            cls = self.default_class
+            for tag in host.tags:
+                hit = self.classes.get(tag)
+                if hit is not None:
+                    cls = hit
+                    break
+            self._class_cache[host] = cls
+        return cls
 
     def delay(self, src: Host, dst: Host, nbytes: int) -> float:
         if src is dst:
             return 1e-6
-        a, b = self.class_of(src), self.class_of(dst)
+        # inlined cache hits: class_of runs twice per message send, and the
+        # method-call + miss-handling overhead is measurable at swarm scale
+        cache = self._class_cache
+        a = cache.get(src)
+        if a is None:
+            a = self.class_of(src)
+        b = cache.get(dst)
+        if b is None:
+            b = self.class_of(dst)
         latency = a.latency + b.latency  # two first-hop traversals
         bandwidth = min(a.bandwidth, b.bandwidth)
         d = latency + nbytes / bandwidth
-        if self.jitter:
-            d *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        if self._jitter_stream is not None:
+            d *= self._jitter_stream.factor()
         return d

@@ -30,7 +30,7 @@ __all__ = ["Message", "Network"]
 _msg_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One unit of network transfer.
 
@@ -169,12 +169,23 @@ class Network:
         payload: Any,
         size: int | None = None,
         reliable: bool = False,
+        fast: bool = False,
     ) -> Message:
         """Fire-and-forget send; returns the in-flight :class:`Message`.
 
         Raises only on programmer error (unknown source host); every
         *runtime* failure mode (dead peer, partition, loss) degrades to a
         silent counted drop.
+
+        ``fast=True`` marks the transfer eligible for the oneway fast
+        path: when no observer or fault hook needs the object pipeline
+        (tracer off, no in-transit loss, no congestion model, no
+        corruptor), delivery dispatches straight into the destination
+        endpoint's registered fast handler instead of round-tripping
+        through its mailbox and dispatcher process.  Every counter, the
+        link delay, and the delivery-order guarantees are identical; the
+        path re-checks eligibility at fire time and falls back to the
+        object pipeline whenever a hook appeared in flight.
         """
         tr = self.sim.tracer
         src_host = self.host(src.host)
@@ -214,12 +225,66 @@ class Network:
         self.in_flight += 1  # counted from send: later sends see this one
         if self.in_flight > self.peak_in_flight:
             self.peak_in_flight = self.in_flight
-        # One heap entry per transfer instead of a full delivery process
-        # (init event + generator + completion event): same fire time, same
-        # execution order among same-time deliveries (monotone sequence
-        # numbers), a third of the kernel work per message.
-        self.sim.call_later(delay, self._deliver, msg)
+        # One *pooled* heap entry per transfer instead of a full delivery
+        # process (init event + generator + completion event): same fire
+        # time, same execution order among same-time deliveries (monotone
+        # sequence numbers), a fraction of the kernel work per message.
+        if (
+            fast
+            and self.loss_rate == 0.0
+            and self.congestion is None
+            and self.corruptor is None
+            and not tr.enabled
+        ):
+            self.sim._call_later_pooled(delay, self._deliver_fast, (msg,))
+        else:
+            self.sim._call_later_pooled(delay, self._deliver, (msg,))
         return msg
+
+    def _deliver_fast(self, msg: Message) -> None:
+        """Fast-path delivery tail: dispatch the payload straight into the
+        destination endpoint's registered oneway handler.
+
+        Runs only for transfers flagged eligible at send time; re-checks
+        the dynamic hooks (tracer, corruptor) at fire time and the
+        endpoint's readiness — a backlog in the mailbox, or no idle
+        dispatcher waiter, means FIFO order must be preserved through the
+        object pipeline, so the message falls back to :meth:`_deliver`'s
+        tail.  All drop/delivery counters match the object path exactly.
+        """
+        if self.sim.tracer.enabled or self.corruptor is not None:
+            self._deliver(msg)
+            return
+        self.in_flight -= 1
+        if not self.reachable(msg.src.host, msg.dst.host):
+            self.dropped_partition += 1
+            return
+        dst_host = self.hosts.get(msg.dst.host)
+        if dst_host is None or not dst_host.online:
+            self.dropped_dead += 1
+            return
+        ep = dst_host.endpoints.get(msg.dst.port)
+        if ep is None or ep.closed:
+            self.dropped_dead += 1
+            return
+        handler = ep.fast_handler
+        if handler is not None and ep.ready_for_fast_dispatch():
+            self.delivered += 1
+            self.bytes_delivered += msg.size
+            handler(msg.payload)
+            # A coalesced dispatch absorbs the mailbox hop — the put and
+            # the getter-resume event the object path would have run.
+            # Credit both observables: ``event_count`` feeds deterministic
+            # consumers (the Spawner seeds its reserve shuffle from it),
+            # so it must advance identically in both arms of the
+            # ``hotpath_disabled()`` A/B.
+            ep.mailbox.put_count += 1
+            self.sim.event_count += 1
+        elif ep.deliver(msg):
+            self.delivered += 1
+            self.bytes_delivered += msg.size
+        else:
+            self.dropped_overflow += 1
 
     def _deliver(self, msg: Message) -> None:
         """Complete one transfer: runs at send time + link delay."""

@@ -36,6 +36,7 @@ from repro.obs.exporters import (
     write_metrics_json,
 )
 from repro.obs.report import RunReport, build_run_report
+from repro.obs.profile import ProfileReport, layer_of, profile_callable
 
 __all__ = [
     "TraceEvent",
@@ -59,4 +60,7 @@ __all__ = [
     "write_metrics_json",
     "RunReport",
     "build_run_report",
+    "ProfileReport",
+    "profile_callable",
+    "layer_of",
 ]

@@ -9,7 +9,7 @@ from typing import Any, Callable
 from repro.net.address import Address
 
 __all__ = ["remote", "is_remote", "remote_method_table", "CallMessage",
-           "ReplyMessage", "OnewayMessage"]
+           "ReplyMessage", "OnewayMessage", "PreparedOneway"]
 
 _REMOTE_ATTR = "__rmi_remote__"
 _call_ids = itertools.count()
@@ -51,7 +51,7 @@ def remote_method_table(cls: type) -> frozenset:
     return table
 
 
-@dataclass
+@dataclass(slots=True)
 class CallMessage:
     """A request expecting a reply."""
 
@@ -63,7 +63,7 @@ class CallMessage:
     call_id: int = field(default_factory=lambda: next(_call_ids))
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplyMessage:
     """The response to a :class:`CallMessage`."""
 
@@ -72,7 +72,7 @@ class ReplyMessage:
     value: Any  # result when ok, exception otherwise
 
 
-@dataclass
+@dataclass(slots=True)
 class OnewayMessage:
     """Fire-and-forget invocation: no reply, errors logged server-side."""
 
@@ -80,3 +80,26 @@ class OnewayMessage:
     method: str
     args: tuple
     kwargs: dict
+
+
+class PreparedOneway:
+    """A reusable, pre-measured oneway envelope.
+
+    High-rate emitters whose invocation is *constant* (the wheel-mode
+    heartbeat: same method, same arguments, every beat) pay the envelope
+    allocation and the payload size walk exactly once, then re-send the
+    same immutable message object forever.  Safe to have in flight any
+    number of times because nothing on the delivery path mutates it.
+
+    Build via :meth:`repro.rmi.runtime.RmiRuntime.prepare_oneway`.
+    """
+
+    __slots__ = ("stub", "msg", "size")
+
+    def __init__(self, stub, msg: OnewayMessage, size: int):
+        self.stub = stub
+        self.msg = msg
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PreparedOneway {self.msg.object_name}.{self.msg.method} {self.size}B>"

@@ -26,11 +26,14 @@ from repro.net.network import Network
 from repro.rmi.invocation import (
     CallMessage,
     OnewayMessage,
+    PreparedOneway,
     ReplyMessage,
     remote_method_table,
 )
 from repro.rmi.stub import Stub
+from repro.util.hotpath import HOTPATH
 from repro.util.logging import EventLog
+from repro.util.serialization import measured_size
 
 __all__ = ["RemoteObject", "RmiRuntime", "DEFAULT_CALL_TIMEOUT"]
 
@@ -82,6 +85,11 @@ class RmiRuntime:
         self.oneways_sent = 0
         self.oneway_errors = 0
         self._dispatcher = host.spawn(self._dispatch_loop(), label=f"{self.name}:dispatch")
+        # the oneway fast path (Network.send(fast=True)) dispatches
+        # eligible deliveries straight into _on_oneway, skipping the
+        # mailbox and the dispatcher resume — semantics identical to a
+        # mailbox round-trip on an idle endpoint
+        self.endpoint.fast_handler = self._on_oneway
 
     # -- serving ------------------------------------------------------------
 
@@ -108,13 +116,16 @@ class RmiRuntime:
     # -- outgoing calls --------------------------------------------------------
 
     def call(
-        self, stub: Stub, method: str, *args: Any, timeout: float | None = None, **kwargs: Any
+        self, stub: Stub, method: str, *args: Any,
+        timeout: float | None = None, size: int | None = None,
+        **kwargs: Any,
     ) -> Event:
         """Invoke ``method`` on the remote object behind ``stub``.
 
         Returns a DES event that fires with the result, or fails with
         :class:`RemoteError` (peer unreachable / timed out) or with the
-        remote application exception.
+        remote application exception.  ``size`` pre-supplies the measured
+        envelope size (see :meth:`oneway`).
         """
         result = self.sim.event(name=f"call:{stub.object_name}.{method}")
         msg = CallMessage(stub.object_name, method, args, kwargs, reply_to=self.address)
@@ -128,7 +139,8 @@ class RmiRuntime:
         # calls ride the TCP-like reliable channel (Java RMI semantics):
         # they complete or fail with a connection error — never silently
         # vanish mid-exchange on a healthy pair of hosts
-        self.network.send(self.address, stub.address, msg, reliable=True)
+        self.network.send(self.address, stub.address, msg, size=size,
+                          reliable=True)
         self.sim.process(
             self._watchdog(msg.call_id, result, timeout or self.call_timeout),
             label=f"{self.name}:watchdog",
@@ -141,6 +153,7 @@ class RmiRuntime:
         method: str,
         *args: Any,
         reliable: bool = False,
+        size: int | None = None,
         **kwargs: Any,
     ) -> None:
         """Fire-and-forget invocation (the asynchronous data channel).
@@ -149,6 +162,12 @@ class RmiRuntime:
         still lost if the peer is dead, but exempt from random in-transit
         loss — for fire-and-forget *control* broadcasts whose permanent
         loss would wedge a protocol (e.g. Application Register updates).
+
+        ``size`` pre-supplies the envelope's measured byte size, letting a
+        sender that can compute it incrementally (e.g. a memoized base plus
+        the payload's ``nbytes``) skip the per-send size walk.  It must
+        equal what :func:`~repro.util.serialization.measured_size` would
+        report for the same envelope — callers own that invariant.
         """
         self.oneways_sent += 1
         tr = self.sim.tracer
@@ -156,7 +175,35 @@ class RmiRuntime:
             tr.emit(self.sim.now, "rmi", self.name, "oneway",
                     object=stub.object_name, method=method, dst=str(stub.address))
         msg = OnewayMessage(stub.object_name, method, args, kwargs)
-        self.network.send(self.address, stub.address, msg, reliable=reliable)
+        self.network.send(self.address, stub.address, msg, size=size,
+                          reliable=reliable, fast=HOTPATH.oneway_fastpath)
+
+    def prepare_oneway(
+        self, stub: Stub, method: str, *args: Any, **kwargs: Any
+    ) -> PreparedOneway:
+        """Pre-build (and pre-measure) a constant oneway invocation.
+
+        For emitters that fire the *same* invocation at high rate (the
+        wheel-mode heartbeat), this hoists the envelope allocation and the
+        payload size walk out of the per-send path.  The prepared message
+        is immutable by convention; :meth:`send_prepared` re-sends it any
+        number of times with byte-for-byte identical link charges.
+        """
+        msg = OnewayMessage(stub.object_name, method, args, kwargs)
+        return PreparedOneway(stub, msg, measured_size(msg))
+
+    def send_prepared(self, prepared: PreparedOneway, reliable: bool = False) -> None:
+        """Fire-and-forget send of a :meth:`prepare_oneway` envelope."""
+        self.oneways_sent += 1
+        tr = self.sim.tracer
+        if tr.enabled:
+            msg = prepared.msg
+            tr.emit(self.sim.now, "rmi", self.name, "oneway",
+                    object=msg.object_name, method=msg.method,
+                    dst=str(prepared.stub.address))
+        self.network.send(self.address, prepared.stub.address, prepared.msg,
+                          size=prepared.size, reliable=reliable,
+                          fast=HOTPATH.oneway_fastpath)
 
     def _watchdog(self, call_id: int, result: Event, timeout: float):
         yield self.sim.timeout(timeout)
@@ -268,7 +315,8 @@ class RmiRuntime:
                 self.log.emit(self.sim.now, self.name, "rmi_oneway_error",
                               method=msg.method, error=repr(exc))
             return
-        if hasattr(outcome, "send") and hasattr(outcome, "throw"):
+        if outcome is not None and hasattr(outcome, "send") \
+                and hasattr(outcome, "throw"):
             self.host.spawn(self._run_oneway_generator(outcome, msg.method),
                             label=f"{self.name}:{msg.method}")
 

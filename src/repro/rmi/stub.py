@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Stub", "BoundStub"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Stub:
     """Serializable remote reference: (object name, endpoint address)."""
 

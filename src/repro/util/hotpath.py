@@ -35,11 +35,17 @@ class HotpathFlags:
     #: fast type-dispatched ``measured_size`` with per-instance memoization
     #: for frozen (immutable) dataclasses
     size_memo: bool = True
+    #: collapse eligible oneway RMI invocations (no reply, no tracer, no
+    #: fault interception) into a single pooled kernel callback that
+    #: dispatches straight into the destination runtime — skipping the
+    #: mailbox store and the dispatcher process resume entirely
+    oneway_fastpath: bool = True
 
     def set_all(self, enabled: bool) -> None:
         self.decomposition_cache = enabled
         self.operator_cache = enabled
         self.size_memo = enabled
+        self.oneway_fastpath = enabled
 
 
 #: The process-wide switch block.  Library code reads attributes at call
@@ -71,12 +77,12 @@ def hotpath_disabled():
     cold too — keeping A/B comparisons symmetric.
     """
     saved = (HOTPATH.decomposition_cache, HOTPATH.operator_cache,
-             HOTPATH.size_memo)
+             HOTPATH.size_memo, HOTPATH.oneway_fastpath)
     HOTPATH.set_all(False)
     clear_caches()
     try:
         yield HOTPATH
     finally:
         (HOTPATH.decomposition_cache, HOTPATH.operator_cache,
-         HOTPATH.size_memo) = saved
+         HOTPATH.size_memo, HOTPATH.oneway_fastpath) = saved
         clear_caches()

@@ -44,8 +44,13 @@ _SIZE_ATTR = "_measured_payload_cache"
 # per-class metadata for the fast path: field-name tuple and frozen-ness
 _fields_by_class: dict[type, tuple[str, ...]] = {}
 _frozen_by_class: dict[type, bool] = {}
+#: frozen dataclasses whose instances cannot hold the per-instance memo
+#: (``__slots__`` without ``__dict__``): recorded on the first failed
+#: plant so later walks skip both the memo probe and the raise/catch
+_unmemoizable: set[type] = set()
 register_cache(_fields_by_class.clear)
 register_cache(_frozen_by_class.clear)
+register_cache(_unmemoizable.clear)
 
 
 def measured_size(obj: Any) -> int:
@@ -142,17 +147,20 @@ def _payload_size_fast(obj: Any, depth: int) -> int:
         names = _register_dataclass(cls)
     if names is not None:
         if _frozen_by_class[cls]:
-            cached = getattr(obj, _SIZE_ATTR, None)
-            if cached is not None:
-                return cached
+            memoizable = cls not in _unmemoizable
+            if memoizable:
+                cached = getattr(obj, _SIZE_ATTR, None)
+                if cached is not None:
+                    return cached
             d = depth + 1
             size = 32 + sum(
                 _payload_size_fast(getattr(obj, nm), d) for nm in names
             )
-            try:
-                object.__setattr__(obj, _SIZE_ATTR, size)
-            except AttributeError:  # __slots__ dataclass: skip the memo
-                pass
+            if memoizable:
+                try:
+                    object.__setattr__(obj, _SIZE_ATTR, size)
+                except AttributeError:  # __slots__ dataclass: no memo
+                    _unmemoizable.add(cls)
             return size
         d = depth + 1
         return 32 + sum(_payload_size_fast(getattr(obj, nm), d) for nm in names)

@@ -274,11 +274,27 @@ def test_fast_size_matches_legacy_for_payload_zoo():
 
 
 def test_frozen_dataclass_size_is_memoized():
+    @dataclasses.dataclass(frozen=True)
+    class Snapshot:
+        name: str
+        payload: tuple
+
+    snap = Snapshot("worker", (1, 2.5))
+    first = measured_size(snap)
+    assert getattr(snap, "_measured_payload_cache", None) is not None
+    assert measured_size(snap) == first
+    # legacy walk agrees with the memoized charge
+    assert first == 256 + _payload_size(snap, depth=0)
+
+
+def test_slots_frozen_dataclass_sized_without_memo():
+    # Stub/Address declare __slots__ (hot-path classes): no per-instance
+    # memo can be planted, but every walk must still match the legacy
+    # charge exactly — and must not raise trying to plant one.
     stub = Stub("worker", Address("host-a", 4))
     first = measured_size(stub)
-    assert getattr(stub, "_measured_payload_cache", None) is not None
+    assert getattr(stub, "_measured_payload_cache", None) is None
     assert measured_size(stub) == first
-    # legacy walk agrees with the memoized charge
     assert first == 256 + _payload_size(stub, depth=0)
 
 

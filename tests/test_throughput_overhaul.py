@@ -1,0 +1,461 @@
+"""Kernel & message-plane throughput overhaul: correctness guarantees.
+
+Covers the pooled :class:`ScheduledCall` fast lane, the float-keyed batch
+contract, TimerWheel × cancellation interactions, the oneway RMI fast
+path's bitwise A/B identity against the reference object pipeline, and
+the profiling harness' report schema.
+"""
+
+import json
+
+import pytest
+
+from repro.des import Simulator
+from repro.des.kernel import ScheduledCall
+from repro.errors import SimulationError
+from repro.util.hotpath import HOTPATH, hotpath_disabled
+
+
+# ------------------------------------------------------------ ScheduledCall
+
+
+def test_call_later_returns_cancellable_handle():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(1.0, fired.append, "a")
+    assert isinstance(handle, ScheduledCall)
+    sim.call_later(2.0, fired.append, "b")
+    handle.cancel()
+    sim.run()
+    assert fired == ["b"]
+    assert sim.now == 2.0
+
+
+def test_cancel_after_fire_is_harmless():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(1.0, fired.append, "x")
+    sim.run()
+    handle.cancel()  # late cancel of an already-fired handle: no-op
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_call_later_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_later(-0.1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_later_batched(-0.1, lambda: None)
+
+
+def test_lazy_cancellation_keeps_heap_bounded_under_churn():
+    """Tombstoned entries are reclaimed at their fire time — the heap never
+    accumulates more than one generation of cancelled timers."""
+    sim = Simulator()
+    for round_ in range(50):
+        handles = [sim.call_later(0.5, lambda: None) for _ in range(100)]
+        for h in handles:
+            h.cancel()
+        sim.run()  # drains the tombstones of this generation
+        assert len(sim._heap) == 0
+    assert sim.now == 50 * 0.5  # cancelled timers still advance to fire time
+
+
+def test_pooled_entries_are_recycled():
+    sim = Simulator()
+    fired = []
+    sim._call_later_pooled(1.0, fired.append, (1,))
+    sim.run()
+    assert fired == [1]
+    assert len(sim._call_pool) == 1
+    recycled = sim._call_pool[0]
+    assert recycled.fn is None  # no dangling reference to the last callback
+    sim._call_later_pooled(1.0, fired.append, (2,))
+    assert not sim._call_pool  # the free list was reused, not regrown
+    sim.run()
+    assert fired == [1, 2]
+    assert sim._call_pool[0] is recycled
+
+
+def test_public_handles_are_never_recycled():
+    """A caller may hold a call_later handle indefinitely; firing must not
+    push it onto the pool (a later cancel() would corrupt a recycled
+    entry)."""
+    sim = Simulator()
+    handle = sim.call_later(1.0, lambda: None)
+    sim.run()
+    assert handle not in sim._call_pool
+    assert handle.fn is not None
+
+
+def test_event_count_is_live_during_callbacks():
+    """Deterministic consumers (the Spawner's reserve shuffle) read
+    ``event_count`` mid-run; the drained fast loop must keep it exact at
+    every callback, not flush it at exit."""
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.call_later(float(i), lambda: seen.append(sim.event_count))
+    sim.run()
+    # step N's callback observes N processed events before itself
+    assert seen == [0, 1, 2, 3, 4]
+    assert sim.event_count == 5
+
+
+# -------------------------------------------------- float-keyed batch hazard
+
+
+def test_batched_calls_coalesce_only_on_bit_equal_times():
+    """Regression for the ``_batches`` float-keying contract: fire times
+    that are mathematically equal but differ in the last ulp land in
+    separate batches (each with its own heap entry) and run in batch
+    creation order."""
+    sim = Simulator()
+    order = []
+    # 0.1 + 0.2 != 0.3 in binary: two distinct keys
+    sim.call_later_batched(0.1 + 0.2, order.append, "ulp")
+    sim.call_later_batched(0.3, order.append, "exact")
+    assert len(sim._batches) == 2
+    sim.run()
+    assert order == ["exact", "ulp"]  # 0.3 < 0.1+0.2 by one ulp
+    assert sim.batched_calls == 0  # nothing actually shared an entry
+
+    sim2 = Simulator()
+    order2 = []
+    sim2.call_later_batched(0.25, order2.append, "a")
+    sim2.call_later_batched(0.25, order2.append, "b")  # bit-equal: coalesces
+    assert len(sim2._batches) == 1
+    sim2.run()
+    assert order2 == ["a", "b"]
+    assert sim2.batched_calls == 1
+
+
+def test_batched_and_unbatched_interleave_deterministically():
+    """An unbatched call at the same fire time orders against the *batch's*
+    single sequence number: everything scheduled before the batch was
+    created runs first, everything after runs last — regardless of when
+    members joined the batch."""
+    sim = Simulator()
+    order = []
+    sim.call_later(1.0, order.append, "pre")       # seq 1
+    sim.call_later_batched(1.0, order.append, "b1")  # batch entry: seq 2
+    sim.call_later(1.0, order.append, "post")      # seq 3
+    sim.call_later_batched(1.0, order.append, "b2")  # joins seq-2 batch
+    sim.run()
+    assert order == ["pre", "b1", "b2", "post"]
+
+
+# ------------------------------------------------- TimerWheel × cancellation
+
+
+def test_wheel_entry_cancelled_before_boundary_never_fires():
+    sim = Simulator()
+    wheel = sim.timer_wheel(1.0)
+    fired = []
+    entry = wheel.every(fired.append, "dead")
+    wheel.every(fired.append, "alive")
+    entry.cancel()
+    sim.run(until=3.5)
+    assert "dead" not in fired
+    assert fired == ["alive"] * 3
+    assert len(wheel) == 1  # the cancelled entry was swept
+
+
+def test_wheel_cancel_from_sibling_callback_suppresses_same_slot_fire():
+    """A callback cancelling a later entry in the *same* slot must win:
+    the sweep re-checks the tombstone right before invoking."""
+    sim = Simulator()
+    wheel = sim.timer_wheel(1.0)
+    fired = []
+    entries = {}
+
+    def killer():
+        fired.append("killer")
+        entries["victim"].cancel()
+
+    wheel.every(killer)
+    entries["victim"] = wheel.every(fired.append, "victim")
+    sim.run(until=1.5)
+    assert fired == ["killer"]
+
+
+def test_interrupted_daemon_heartbeat_does_not_fire():
+    """Wheel-mode Daemon whose host dies mid-run: its periodic tick must
+    deregister (return False) instead of heartbeating from beyond the
+    grave — and the wheel sweeps it, bounding entry growth under churn."""
+    from repro.p2p.cluster import build_cluster
+    from repro.p2p.config import P2PConfig
+
+    config = P2PConfig(heartbeat_mode="wheel")
+    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=3, config=config)
+    sim = cluster.sim
+    sim.run(until=5.0)
+    wheel = cluster.wheel
+    assert wheel is not None and len(wheel) == 4
+    victim = cluster.testbed.daemon_hosts[0]
+    victim_ids = {
+        d.daemon_id for d in cluster.daemons.values() if d.host is victim
+    }
+    victim.fail()
+    # two boundaries later the dead daemon's entry must be swept
+    sim.run(until=sim.now + 2 * config.heartbeat_period + 0.1)
+    assert len(wheel) == 3
+    # the corpse's last_seen froze while survivors keep beating
+    sp = cluster.superpeers[0]
+    frozen = {d: sp.register[d].last_seen for d in victim_ids if d in sp.register}
+    sim.run(until=sim.now + 5 * config.heartbeat_period)
+    for daemon_id, last_seen in frozen.items():
+        if daemon_id in sp.register:
+            assert sp.register[daemon_id].last_seen == last_seen
+    live = [d for d in sp.register if d not in victim_ids]
+    assert live
+    assert all(
+        sp.register[d].last_seen > 5.0 for d in live
+    )
+
+
+# ------------------------------------------------------ oneway fast path A/B
+
+
+def _poisson_run(**kw):
+    from repro.experiments.driver import run_poisson_on_p2p
+
+    return run_poisson_on_p2p(**kw)
+
+
+def test_fastpath_bitwise_identical_poisson():
+    kw = dict(n=16, peers=3, seed=11, convergence_threshold=1e-6)
+    assert HOTPATH.oneway_fastpath  # on by default
+    fast = _poisson_run(**kw)
+    with hotpath_disabled():
+        assert not HOTPATH.oneway_fastpath
+        reference = _poisson_run(**kw)
+    assert fast.converged and reference.converged
+    assert fast.simulated_time == reference.simulated_time
+    assert fast.total_iterations == reference.total_iterations
+    assert fast.residual == reference.residual
+    assert fast == reference
+
+
+@pytest.mark.parametrize("scenario_name", ["superpeer-outage", "dirty-channel"])
+def test_fastpath_bitwise_identical_under_faults(scenario_name):
+    """The fault plane exercises the dynamic fallbacks: host death between
+    send and delivery, and a corruption window opening mid-run (which must
+    force eligible transfers back through the object pipeline)."""
+    from repro.faults import scenario
+
+    kw = dict(n=16, peers=3, seed=11, convergence_threshold=1e-6)
+    fast = _poisson_run(faults=scenario(scenario_name), **kw)
+    with hotpath_disabled():
+        reference = _poisson_run(faults=scenario(scenario_name), **kw)
+    assert fast.converged and reference.converged
+    assert fast == reference
+
+
+def test_fast_dispatch_preserves_fifo_behind_backlog():
+    """A fast delivery must not overtake messages already buffered in the
+    mailbox: with no live getter (dispatcher busy) it falls back to the
+    mailbox and drains in arrival order."""
+    from repro.net.host import Host
+    from repro.net.network import Network
+
+    sim = Simulator()
+    net = Network(sim)
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    net.add_host(a)
+    net.add_host(b)
+    ep = b.open_endpoint(9)
+    seen = []
+    ep.fast_handler = seen.append
+
+    got = []
+
+    def consumer():
+        # take one mailbox message, then go busy (no live getter), then
+        # drain whatever queued up behind the busy window
+        msg = yield ep.recv()
+        got.append(msg.payload)
+        yield sim.timeout(10.0)
+        while True:
+            msg = yield ep.recv()
+            got.append(msg.payload)
+
+    b.spawn(consumer())
+    src = a.open_endpoint(1).address
+    # m1 arrives while a getter waits and the mailbox is empty → coalesced
+    # into the fast handler (the pending getter is left armed)
+    net.send(src, ep.address, "m1", fast=True)
+    # w1 is not fast-eligible → mailbox → wakes the consumer into its busy
+    # window (same payload size as m1, so delivery order follows send order)
+    net.send(src, ep.address, "w1", fast=False)
+    sim.run(until=1.0)
+    assert seen == ["m1"]
+    assert got == ["w1"]
+    # consumer is mid-timeout: no live getter → fast sends must fall back
+    # to the mailbox and drain strictly in arrival order
+    net.send(src, ep.address, "m2", fast=True)
+    net.send(src, ep.address, "m3", fast=True)
+    sim.run()
+    assert seen == ["m1"]  # only the idle-endpoint delivery was coalesced
+    assert got == ["w1", "m2", "m3"]
+
+
+def test_fast_dispatch_counts_the_absorbed_mailbox_hop():
+    """Coalescing must keep ``event_count`` identical to the object path:
+    the Spawner seeds RNG draws from it, so the two A/B arms would
+    otherwise diverge."""
+    from repro.net.host import Host
+    from repro.net.network import Network
+
+    def run(fast):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Host(sim, "a"), Host(sim, "b")
+        net.add_host(a)
+        net.add_host(b)
+        src = a.open_endpoint(1).address
+        ep = b.open_endpoint(9)
+        ep.fast_handler = lambda payload: None
+
+        def consumer():
+            while True:
+                yield ep.recv()
+
+        b.spawn(consumer())
+        for _ in range(10):
+            net.send(src, ep.address, "hb", fast=fast)
+        sim.run()
+        return sim.event_count, net.delivered
+
+    assert run(fast=True) == run(fast=False)
+
+
+def test_jitter_stream_bitwise_matches_scalar_draws():
+    """The block-buffered jitter factors must reproduce the exact scalar
+    ``uniform(low, high)`` sequence, across block boundaries."""
+    from repro.net.link import _JitterStream
+    from repro.util.rng import RngTree
+
+    jitter = 0.07
+    stream = _JitterStream(RngTree(123), jitter)
+    scalar = RngTree(123)
+    n = _JitterStream._BLOCK * 2 + 17  # cross two refills
+    for _ in range(n):
+        assert stream.factor() == 1.0 + scalar.uniform(-jitter, jitter)
+
+
+def test_envelope_size_memo_charges_identical_bytes():
+    """The per-neighbour boundary-envelope memo and the reaffirm-call memo
+    must charge exactly the bytes ``measured_size`` would: identical
+    traffic accounting with the memos on and off."""
+    from repro.apps import make_poisson_app
+    from repro.p2p import build_cluster, launch_application
+    from repro.p2p.config import P2PConfig
+
+    def run():
+        config = P2PConfig(heartbeat_mode="wheel")
+        cluster = build_cluster(n_daemons=6, n_superpeers=1, seed=9,
+                                config=config)
+        app = make_poisson_app("poisson", n=12, num_tasks=3, overlap=1,
+                               convergence_threshold=1e-5)
+        spawner = launch_application(cluster, app)
+        sim = cluster.sim
+        sim.run(until=sim.any_of([spawner.done, sim.timeout(60.0)]))
+        net = cluster.testbed.network
+        assert spawner.done.triggered
+        return (net.sent, net.delivered, net.bytes_sent, net.bytes_delivered)
+
+    memoized = run()
+    with hotpath_disabled():
+        reference = run()
+    assert memoized == reference
+
+
+# ------------------------------------------------------- profiling harness
+
+
+PROFILE_TOP_KEYS = {"function", "file", "line", "ncalls", "tottime_s", "cumtime_s"}
+
+
+def test_profile_report_schema():
+    from repro.obs.profile import profile_callable
+
+    report, value = profile_callable(
+        lambda: _poisson_run(n=8, peers=2, seed=1, convergence_threshold=1e-4),
+        top_n=10,
+    )
+    assert value.converged
+    data = report.as_dict()
+    assert set(data) == {"total_time_s", "total_calls", "layers", "top"}
+    assert data["total_time_s"] > 0
+    assert data["total_calls"] > 0
+    for entry in data["layers"].values():
+        assert set(entry) == {"time_s", "fraction"}
+    # exclusive time partitions the total: fractions sum to ~1
+    assert abs(sum(e["fraction"] for e in data["layers"].values()) - 1.0) < 1e-3
+    # a simulator run must attribute time to the core layers
+    for layer in ("kernel", "network", "rmi", "p2p", "numerics"):
+        assert layer in data["layers"], layer
+    assert 0 < len(data["top"]) <= 10
+    for row in data["top"]:
+        assert set(row) == PROFILE_TOP_KEYS
+    # sorted by cumulative time, descending
+    cums = [row["cumtime_s"] for row in data["top"]]
+    assert cums == sorted(cums, reverse=True)
+    text = report.to_text()
+    assert "per-layer attribution" in text
+
+
+def test_layer_mapping():
+    from repro.obs.profile import layer_of
+
+    assert layer_of("/x/src/repro/des/kernel.py") == "kernel"
+    assert layer_of("/x/src/repro/net/network.py") == "network"
+    assert layer_of("/x/src/repro/numerics/cg.py") == "numerics"
+    assert layer_of("/usr/lib/python3.11/heapq.py") == "other"
+    assert layer_of("~") == "other"
+
+
+def test_cli_profile_json(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "prof.json"
+    rc = main(["profile", "--n", "8", "--peers", "2", "--seed", "1",
+               "--top", "5", "--json", str(out)])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "per-layer attribution" in captured.out
+    data = json.loads(out.read_text())
+    assert set(data) == {"total_time_s", "total_calls", "layers", "top"}
+    assert len(data["top"]) <= 5
+
+
+# ------------------------------------------------------------- slots audit
+
+
+def test_slots_audit_passes():
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parents[1]
+    proc = subprocess.run(
+        [sys.executable, str(repo / "scripts" / "check_slots.py")],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_hot_classes_reject_stray_attributes():
+    from repro.net.network import Message
+    from repro.rmi.invocation import OnewayMessage
+
+    msg = OnewayMessage("o", "m", (), {})
+    with pytest.raises((AttributeError, TypeError)):
+        msg.stray = 1
+    wrapped = Message.__new__(Message)
+    with pytest.raises((AttributeError, TypeError)):
+        wrapped.stray = 1
