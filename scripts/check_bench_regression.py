@@ -92,6 +92,16 @@ GATES: dict[str, tuple[Gate, ...]] = {
     "BENCH_faults.json": (
         Gate("overhead_fraction", False, 4.0, floor=0.05),
     ),
+    # decentralized control plane (benchmarks/bench_gossip.py): the
+    # disabled-guard bound hovers near zero (same treatment as the other
+    # overhead gates — the hard <5% budget lives in the benchmark);
+    # takeover latency is *simulated* time, deterministic per seed, so the
+    # allowance is a drift pin, with an absolute 1s grace for intentional
+    # protocol retunes (beat period, probe timeout)
+    "BENCH_gossip.json": (
+        Gate("overhead_fraction", False, 4.0, floor=0.05),
+        Gate("takeover_latency_s", False, 0.5, floor=1.0),
+    ),
 }
 
 
@@ -102,6 +112,9 @@ REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "BENCH_swarm.json": (
         "converged", "events", "wall_seconds", "events_per_sec",
         "peak_rss_mb", "heartbeat_collapse_ratio", "profile_top",
+    ),
+    "BENCH_gossip.json": (
+        "takeover_converged", "takeover_latency_s", "events",
     ),
 }
 

@@ -377,7 +377,7 @@ def _cmd_ablation(args) -> int:
 
 
 def _cmd_faults(args) -> int:
-    from repro.faults import SCENARIOS, scenario
+    from repro.faults import SCENARIOS, scenario, scenario_overrides
 
     if args.faults_command == "list":
         width = max(len(name) for name in SCENARIOS)
@@ -390,11 +390,14 @@ def _cmd_faults(args) -> int:
 
     n, peers = (32, 4) if args.quick else (args.n, args.peers)
     spec = RunSpec(n=n, peers=peers, seed=args.seed,
-                   faults=scenario(args.scenario), traced=args.report)
+                   faults=scenario(args.scenario), traced=args.report,
+                   **scenario_overrides(args.scenario))
     result = _engine_from(args).run(spec)
     row = result.row()
     row["faults"] = result.faults_executed
     row["corrupted"] = result.messages_corrupted
+    if result.takeovers:
+        row["takeover@"] = round(result.takeover_at, 4)
     print(format_table(list(row), [list(row.values())],
                        title=f"fault scenario {args.scenario!r}"))
     if args.report and result.run_report is not None:

@@ -80,6 +80,12 @@ class RunSpec:
     #: scheduled fault scenario (:class:`repro.faults.FaultPlan`) executed
     #: alongside the run; seeded from ``seed`` like everything else
     faults: FaultPlan | None = None
+    #: switch on the epidemic control plane (``repro.gossip``): membership
+    #: discovery, decentralized convergence cross-check, gossip traces
+    gossip: bool = False
+    #: run a warm-standby Spawner shadowing the primary (implies gossip);
+    #: the ``spawner-down`` / ``standby-flap`` scenarios need this
+    standby: bool = False
     #: run with a worker-local tracer and ship the RunReport back
     traced: bool = False
     #: trace sink for ``traced`` runs (docs/scaling.md): "memory" (the

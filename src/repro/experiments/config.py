@@ -44,6 +44,14 @@ EXPERIMENT_CONFIG = P2PConfig(
     stability_window=48,
     min_iteration_time=5e-4,
     iteration_overhead=2e-4,
+    # epidemic control plane, scaled to the same regime: a dissemination
+    # round is half a heartbeat, and a leadership silence of three
+    # heartbeat-timeouts triggers the standby's takeover probe
+    gossip_period=0.05,
+    gossip_stale_after=0.5,
+    bootstrap_retry_max=1.6,
+    standby_sync_period=0.05,
+    standby_takeover_timeout=0.3,
 )
 
 #: latency multiplier / bandwidth divisor preserving the paper's ratio-(4)

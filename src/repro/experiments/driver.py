@@ -26,7 +26,13 @@ from repro.exec.spec import RunSpec
 from repro.faults import FaultInjector, FaultPlan
 from repro.numerics import Poisson2D
 from repro.obs import RunReport, Tracer, build_run_report
-from repro.p2p import P2PConfig, build_cluster, launch_application
+from repro.p2p import (
+    P2PConfig,
+    StableStore,
+    build_cluster,
+    launch_application,
+    launch_standby,
+)
 from repro.util.rng import RngTree
 
 __all__ = ["RunResult", "run_poisson_on_p2p", "execute_spec", "RUN_COUNTER"]
@@ -77,6 +83,10 @@ class RunResult:
     faults_executed: int = 0
     #: data payloads corrupted in transit by the fault plane
     messages_corrupted: int = 0
+    #: standby promotions during the run (0 or 1; docs/gossip.md)
+    takeovers: int = 0
+    #: simulated time of the standby promotion (None without one)
+    takeover_at: float | None = None
     #: populated only when the run was traced (``tracer=`` argument)
     run_report: RunReport | None = field(default=None, compare=False)
 
@@ -137,6 +147,8 @@ def run_poisson_on_p2p(
     inner_tol: float | None = None,
     inner_max_iter: int | None = None,
     faults: FaultPlan | None = None,
+    gossip: bool | None = None,
+    standby: bool | None = None,
     spec: RunSpec | None = None,
     tracer: Tracer | None = None,
 ) -> RunResult:
@@ -178,6 +190,7 @@ def run_poisson_on_p2p(
             "collect": collect, "warm_start": warm_start,
             "use_cache": use_cache, "inner_tol": inner_tol,
             "inner_max_iter": inner_max_iter, "faults": faults,
+            "gossip": gossip, "standby": standby,
         }.items()
         if value is not None
     }
@@ -209,6 +222,13 @@ def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
             return calibration
         spec = replace(spec, churn_window=calibration.simulated_time)
 
+    if spec.gossip or spec.standby:
+        # the spec-level switches resolve into config flags here, so a
+        # gossip-off spec's config (and every legacy caller) is untouched
+        spec = replace(spec, config=spec.config.with_(
+            gossip_enabled=True, standby_enabled=spec.standby,
+        ))
+
     cluster = build_cluster(
         n_daemons=spec.n_daemons,
         n_superpeers=spec.n_superpeers,
@@ -228,7 +248,12 @@ def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
         inner_tol=spec.inner_tol,
         inner_max_iter=spec.inner_max_iter,
     )
-    spawner = launch_application(cluster, app)
+    stable_store = StableStore() if spec.standby else None
+    spawner = launch_application(cluster, app, stable_store=stable_store)
+    standby = None
+    if spec.standby:
+        standby = launch_standby(cluster, app, spawner,
+                                 stable_store=stable_store)
 
     def computing(host) -> bool:
         daemon = cluster.daemons.get(host.name)
@@ -261,15 +286,24 @@ def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
         )
 
     sim = cluster.sim
-    sim.run(until=sim.any_of([spawner.done, sim.timeout(spec.horizon)]))
-    converged = spawner.done.triggered
+    waiters = [spawner.done]
+    if standby is not None:
+        waiters.append(standby.done)
+    waiters.append(sim.timeout(spec.horizon))
+    sim.run(until=sim.any_of(waiters))
+    # after a takeover the PROMOTED spawner owns the run: its done event,
+    # register and runtime are the live ones (the primary's host is dead)
+    final = spawner
+    if standby is not None and standby.promoted and standby.spawner is not None:
+        final = standby.spawner
+    converged = final.done.triggered
     if fault_injector is not None:
         # stop injecting: pending actions must not disturb collection
         fault_injector.cancel()
 
     residual = None
     if spec.collect and converged:
-        proc = sim.process(spawner.collect_solution())
+        proc = sim.process(final.collect_solution())
         sim.run(until=proc)
         x = np.zeros(spec.n * spec.n)
         missing = False
@@ -290,11 +324,14 @@ def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
             telemetry=telemetry,
             network=cluster.network,
             tracer=tracer,
-            spawner=spawner,
+            spawner=final,
             superpeers=cluster.superpeers,
             app_id=app.app_id,
             fault_injector=fault_injector,
         )
+    replacements = sum(s.replacements for s in cluster.spawners)
+    if final is not spawner:
+        replacements += final.replacements
     return RunResult(
         n=spec.n,
         peers=spec.peers,
@@ -303,17 +340,19 @@ def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
         seed=spec.seed,
         overlap=spec.overlap,
         converged=converged,
-        simulated_time=spawner.execution_time,
+        simulated_time=final.execution_time,
         total_iterations=telemetry.total_iterations,
         mean_iterations_per_task=telemetry.mean_task_iterations,
         useless_fraction=telemetry.useless_fraction,
         residual=residual,
         recoveries=len(telemetry.recoveries),
         restarts_from_zero=telemetry.restarts_from_zero,
-        replacements=spawner.replacements,
+        replacements=replacements,
         checkpoints_sent=telemetry.checkpoints_sent,
         data_messages=telemetry.data_messages_sent,
         faults_executed=len(fault_injector.executed) if fault_injector else 0,
         messages_corrupted=fault_injector.corrupted if fault_injector else 0,
+        takeovers=1 if (standby is not None and standby.promoted) else 0,
+        takeover_at=standby.takeover_at if standby is not None else None,
         run_report=run_report,
     )

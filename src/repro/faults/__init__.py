@@ -22,12 +22,19 @@ from repro.faults.actions import (
     MessageCorruption,
     PartitionAction,
     RackFailure,
+    SpawnerCrash,
     SuperPeerCrash,
     action_from_dict,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, FaultRecord
-from repro.faults.scenarios import SCENARIOS, scenario, scenario_names
+from repro.faults.scenarios import (
+    SCENARIO_REQUIRES,
+    SCENARIOS,
+    scenario,
+    scenario_names,
+    scenario_overrides,
+)
 
 __all__ = [
     "FaultAction",
@@ -37,11 +44,14 @@ __all__ = [
     "HealAction",
     "MessageCorruption",
     "RackFailure",
+    "SpawnerCrash",
     "action_from_dict",
     "FaultPlan",
     "FaultRecord",
     "FaultInjector",
     "SCENARIOS",
+    "SCENARIO_REQUIRES",
     "scenario",
     "scenario_names",
+    "scenario_overrides",
 ]

@@ -40,6 +40,7 @@ from repro.faults.actions import (
     MessageCorruption,
     PartitionAction,
     RackFailure,
+    SpawnerCrash,
     SuperPeerCrash,
 )
 from repro.faults.plan import FaultPlan, FaultRecord
@@ -134,7 +135,8 @@ class FaultInjector:
 
     def _validate(self, plan: FaultPlan) -> None:
         for action in plan.actions:
-            if isinstance(action, (SuperPeerCrash, RackFailure)) and self.cluster is None:
+            if isinstance(action, (SuperPeerCrash, RackFailure, SpawnerCrash)) \
+                    and self.cluster is None:
                 raise FaultError(
                     f"{action.kind!r} actions require a cluster to act on"
                 )
@@ -210,6 +212,8 @@ class FaultInjector:
                              label="fault-corruption")
         elif isinstance(action, RackFailure):
             self._rack_failure(action)
+        elif isinstance(action, SpawnerCrash):
+            self._spawner_crash(action)
         else:  # pragma: no cover - registry and dispatch kept in sync
             raise FaultError(f"no handler for fault action {action.kind!r}")
 
@@ -400,6 +404,56 @@ class FaultInjector:
             self.sim.process(self._recover_hosts(doomed, action.downtime),
                              label=f"fault-rack-recover:{victim.name}")
 
+    # -- spawner crash (the §4.2 stable entity; docs/gossip.md failover) ---------
+
+    def _spawner_crash(self, action: SpawnerCrash) -> None:
+        host = self.cluster.testbed.spawner_host
+        if host is None or not host.online:
+            self._skip(action, "no alive spawner host")
+            return
+        host.fail(cause="spawner_fault")
+        self._record(action, host=host.name, downtime=action.downtime)
+        self._log("spawner_crash", host=host.name)
+        if action.downtime is not None:
+            self.sim.process(self._resurrect_spawner(host, action.downtime),
+                             label="fault-spawner-resurrect")
+
+    def _resurrect_spawner(self, host: Host, downtime: float):
+        """Recover the spawner machine; per application, either resume from
+        stable storage or abdicate to an already-promoted standby whose
+        reign outranks the snapshot's (exactly-one-leader fencing)."""
+        from repro.p2p.cluster import resume_application
+
+        yield self.sim.timeout(downtime)
+        if host.online:
+            return
+        host.recover()
+        store = self.cluster.stable_store
+        standby = self.cluster.standby
+        tr = self.sim.tracer
+        for app in self.cluster.apps:
+            snap = store.load(app.app_id) if store is not None else None
+            if snap is None:
+                continue  # converged (snapshot forgotten) or never persisted
+            # >= not >: the promoted standby persists snapshots under its
+            # OWN reign, so a tie means the snapshot is the standby's — a
+            # live promoted leader always beats its own stored state
+            if (standby is not None and standby.promoted
+                    and standby.active_reign >= snap.reign):
+                self._log("spawner_abdicated", app=app.app_id,
+                          standby_reign=standby.active_reign,
+                          snapshot_reign=snap.reign)
+                if tr.enabled:
+                    tr.emit(self.sim.now, "faults", self.log_entity,
+                            "spawner_abdicated", app=app.app_id,
+                            standby_reign=standby.active_reign)
+                continue
+            spawner = resume_application(self.cluster, app, store)
+            self._log("spawner_resumed", app=app.app_id, reign=spawner.reign)
+            if tr.enabled:
+                tr.emit(self.sim.now, "faults", self.log_entity,
+                        "spawner_resumed", app=app.app_id, reign=spawner.reign)
+
     # -- replay -------------------------------------------------------------------
 
     @property
@@ -443,5 +497,8 @@ class FaultInjector:
                 for name in rec.detail["hosts"]:
                     actions.append(DaemonCrash(time=rec.time, host=name,
                                                downtime=rec.detail.get("downtime")))
+            elif rec.kind == "spawner_crash":
+                actions.append(SpawnerCrash(time=rec.time,
+                                            downtime=rec.detail.get("downtime")))
         return FaultPlan(actions=tuple(actions),
                          name=f"{self.plan.name or 'plan'}@executed")

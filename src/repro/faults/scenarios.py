@@ -20,11 +20,18 @@ from repro.faults.actions import (
     MessageCorruption,
     PartitionAction,
     RackFailure,
+    SpawnerCrash,
     SuperPeerCrash,
 )
 from repro.faults.plan import FaultPlan
 
-__all__ = ["SCENARIOS", "scenario", "scenario_names"]
+__all__ = [
+    "SCENARIOS",
+    "SCENARIO_REQUIRES",
+    "scenario",
+    "scenario_names",
+    "scenario_overrides",
+]
 
 
 #: name -> (description, plan).  Descriptions cite the paper section each
@@ -90,6 +97,45 @@ SCENARIOS: dict[str, tuple[str, FaultPlan]] = {
             name="perfect-storm",
         ),
     ),
+    "spawner-down": (
+        "the Spawner machine dies for good mid-run; the warm standby "
+        "detects the leadership-beat silence, promotes under a fenced "
+        "reign and the run converges without restarting (docs/gossip.md)",
+        FaultPlan.of(
+            SpawnerCrash(time=0.08),
+            name="spawner-down",
+        ),
+    ),
+    "standby-flap": (
+        "the Spawner dies AND resurrects from stable storage after the "
+        "standby already promoted: the resurrected primary must abdicate "
+        "to the higher reign — exactly one leader survives the flap",
+        FaultPlan.of(
+            SpawnerCrash(time=0.08, downtime=1.0),
+            name="standby-flap",
+        ),
+    ),
+    "discovery-storm": (
+        "both seed Super-Peers die while computing peers churn: rebooting "
+        "Daemons must discover surviving entry points over gossip (no "
+        "hardcoded roster) and re-register with exponential backoff",
+        FaultPlan.of(
+            SuperPeerCrash(time=0.05, sp_id="SP0", downtime=0.20),
+            SuperPeerCrash(time=0.07, sp_id="SP1", downtime=0.20),
+            DaemonCrash(time=0.10, downtime=0.10),
+            DaemonCrash(time=0.12, downtime=0.10),
+            name="discovery-storm",
+        ),
+    ),
+}
+
+#: RunSpec fields a scenario needs switched on to be meaningful; the CLI's
+#: ``faults run`` applies these automatically (``spawner-down`` without a
+#: standby would simply never converge).
+SCENARIO_REQUIRES: dict[str, dict[str, bool]] = {
+    "spawner-down": {"gossip": True, "standby": True},
+    "standby-flap": {"gossip": True, "standby": True},
+    "discovery-storm": {"gossip": True},
 }
 
 
@@ -105,3 +151,8 @@ def scenario(name: str) -> FaultPlan:
 
 def scenario_names() -> list[str]:
     return sorted(SCENARIOS)
+
+
+def scenario_overrides(name: str) -> dict[str, bool]:
+    """RunSpec field overrides a named scenario depends on."""
+    return dict(SCENARIO_REQUIRES.get(name, {}))

@@ -1,0 +1,24 @@
+"""Epidemic membership and dissemination (the decentralized control plane).
+
+The JaceP2P paper's control plane is centralized twice over: Daemons find
+the network through a hardcoded Super-Peer list (§5.1) and the Spawner
+centralizes both liveness and the convergence array (§5.3/§5.5) — the
+scalability ceiling §8 acknowledges.  This package supplies the epidemic
+substrate the robustness upgrades ride on:
+
+* :class:`~repro.gossip.peers.PeerStore` — a bounded membership view with
+  deterministic eviction scoring (Sens et al.'s partial-connectivity
+  failure detectors assume exactly such a bounded, churning view);
+* :class:`~repro.gossip.agent.GossipAgent` — HELLO / GET_PEERS /
+  PEERS_LIST discovery plus push-gossip rumor rounds, served on an
+  entity's *existing* RMI runtime (no extra ports) and seeded from
+  ``RngTree.child("gossip")`` so runs stay replayable.
+
+Everything it does is observable: ``gossip/*`` trace events through the
+kernel tracer and ``gossip_*`` counters through :mod:`repro.obs`.
+"""
+
+from repro.gossip.agent import GOSSIP_OBJECT, GossipAgent
+from repro.gossip.peers import PeerRecord, PeerStore
+
+__all__ = ["GOSSIP_OBJECT", "GossipAgent", "PeerRecord", "PeerStore"]

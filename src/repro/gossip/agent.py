@@ -1,0 +1,280 @@
+"""The gossip agent: discovery plus push-rumor dissemination rounds.
+
+One :class:`GossipAgent` per entity, served under the well-known object
+name ``"gossip"`` on the entity's *existing* :class:`~repro.rmi.RmiRuntime`
+(Daemon, Super-Peer, Spawner and standby ports all double as gossip
+endpoints — no extra sockets).  The protocol is the classic three-message
+discovery plus anti-entropy push:
+
+* ``hello(peer_id, role, address)`` — first contact / liveness announce;
+* ``get_peers(max) -> PEERS_LIST`` — a bounded pull of the receiver's view;
+* ``push(sender, peer_sample, rumors)`` — one dissemination round: a
+  sample of the sender's membership view piggybacked on its rumor map.
+
+Rumors are versioned key/value pairs merged by highest version (versions
+are tuples, typically ``(epoch, seq)``, so stale incarnations lose by
+construction — the epoch guard the distributed convergence detector needs).
+Every stochastic choice (round phase, fanout targets, probe victims,
+exchange samples) draws from ``RngTree.child("gossip")`` descendants keyed
+by the round number, so a reseeded rerun reproduces the exact overlay
+traffic bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import RemoteError
+from repro.gossip.peers import PeerStore
+from repro.net.address import Address
+from repro.p2p.config import P2PConfig
+from repro.rmi import RemoteObject, RmiRuntime, Stub, remote
+from repro.util.rng import RngTree
+
+__all__ = ["GOSSIP_OBJECT", "GossipAgent"]
+
+#: name under which every gossip agent exports itself
+GOSSIP_OBJECT = "gossip"
+
+#: roles whose peers are *always* pushed to, on top of the random fanout —
+#: control-plane sinks (the Spawner's epidemic convergence array, the
+#: standby's failure detector) must hear every round, not eventually
+PRIORITY_ROLES = ("spawner", "standby")
+
+
+class GossipAgent(RemoteObject):
+    """Membership + rumor dissemination for one entity."""
+
+    def __init__(
+        self,
+        runtime: RmiRuntime,
+        peer_id: str,
+        role: str,
+        config: P2PConfig,
+        rng: RngTree,
+        seeds: list[Address] | None = None,
+        registry=None,
+        log=None,
+    ):
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.host = runtime.host
+        self.peer_id = peer_id
+        self.role = role
+        self.config = config
+        self.rng = rng
+        self.seeds = [a for a in (seeds or []) if a != runtime.address]
+        self.registry = registry
+        self.log = log
+        self.address = runtime.address
+        self.store = PeerStore(
+            limit=config.gossip_peer_limit,
+            stale_after=config.gossip_stale_after,
+        )
+        #: versioned rumor map: key -> (version tuple, value)
+        self.rumors: dict[Any, tuple[tuple, Any]] = {}
+        self._subscribers: list[tuple[tuple, Callable]] = []
+        self.pushes_sent = 0
+        self.pushes_received = 0
+        self.rumors_merged = 0
+        self.hellos_received = 0
+        self.stub = runtime.serve(self, GOSSIP_OBJECT)
+        self._round_no = 0
+        self.host.spawn(self._rounds(), label=f"gossip:{peer_id}")
+
+    # -- remote interface (HELLO / GET_PEERS / PEERS_LIST / PUSH) -------------
+
+    @remote
+    def hello(self, peer_id: str, role: str, address: Address) -> bool:
+        """First-contact announce: admit the sender into the view."""
+        self.hellos_received += 1
+        self._learn(peer_id, role, address, heard=True)
+        self._trace("hello", peer=peer_id, role=role)
+        return True
+
+    @remote
+    def get_peers(self, max_n: int) -> list[tuple[str, str, Address]]:
+        """PEERS_LIST: a bounded dump of this agent's membership view."""
+        records = self.store.records()
+        records.sort(key=lambda r: str(r.address))
+        out = [r.entry() for r in records[: max(0, int(max_n))]]
+        self._trace("peers_list", served=len(out))
+        return out
+
+    @remote
+    def push(
+        self,
+        sender_id: str,
+        sender_role: str,
+        sender_address: Address,
+        peer_sample: list[tuple[str, str, Address]],
+        rumors: dict,
+    ) -> None:
+        """One incoming dissemination round: merge membership + rumors."""
+        self.pushes_received += 1
+        self._count("gossip_pushes_received")
+        self._learn(sender_id, sender_role, sender_address, heard=True)
+        for pid, role, addr in peer_sample:
+            self._learn(pid, role, addr, heard=False)
+        merged = 0
+        for key, (version, value) in rumors.items():
+            merged += self._merge(key, tuple(version), value)
+        if merged:
+            self._count("gossip_rumors_merged", n=merged)
+        self._trace("push_recv", sender=sender_id, merged=merged)
+
+    @remote
+    def ping(self) -> bool:
+        return True
+
+    # -- local API (the overlays: discovery, convergence, failover) -----------
+
+    def add_seeds(self, addresses: list[Address]) -> None:
+        for addr in addresses:
+            if addr != self.address and addr not in self.seeds:
+                self.seeds.append(addr)
+
+    def known_addresses(self, role: str) -> list[Address]:
+        """Gossip-learned addresses of a role (deterministic order)."""
+        return self.store.addresses_of_role(role)
+
+    def set_rumor(self, key: Any, version: tuple, value: Any) -> bool:
+        """Publish (or refresh) a rumor locally; spreads on the next round."""
+        return bool(self._merge(key, tuple(version), value))
+
+    def rumor(self, key: Any) -> tuple[tuple, Any] | None:
+        return self.rumors.get(key)
+
+    def subscribe(self, key_prefix: tuple, callback: Callable) -> None:
+        """``callback(key, version, value)`` on every merge whose key starts
+        with ``key_prefix``."""
+        self._subscribers.append((tuple(key_prefix), callback))
+
+    # -- internals --------------------------------------------------------------
+
+    def _learn(self, peer_id: str, role: str, address: Address,
+               *, heard: bool) -> None:
+        if address == self.address:
+            return
+        evicted = self.store.upsert(peer_id, role, address, self.sim.now,
+                                    heard=heard)
+        if evicted is not None:
+            self._count("gossip_peers_evicted")
+            self._trace("evict", peer=evicted.peer_id, fails=evicted.fails)
+
+    def _merge(self, key: Any, version: tuple, value: Any) -> int:
+        held = self.rumors.get(key)
+        if held is not None and held[0] >= version:
+            return 0
+        self.rumors[key] = (version, value)
+        self.rumors_merged += 1
+        for prefix, callback in self._subscribers:
+            if key[: len(prefix)] == prefix:
+                callback(key, version, value)
+        return 1
+
+    # -- the dissemination loop --------------------------------------------------
+
+    def _rounds(self):
+        """HELLO the seeds, pull one PEERS_LIST, then push-gossip forever."""
+        for addr in self.seeds:
+            self.runtime.oneway(Stub(GOSSIP_OBJECT, addr), "hello",
+                                self.peer_id, self.role, self.address)
+        # deterministic phase stagger: agents created in the same instant
+        # must not all fire their rounds on the same timestep forever
+        yield self.sim.timeout(
+            self.rng.child("phase").uniform(0.0, self.config.gossip_period)
+        )
+        if self.seeds:
+            yield from self._pull(self.seeds[0])
+        while self.runtime.alive:
+            self._push_round()
+            self._probe_round()
+            self._round_no += 1
+            yield self.sim.timeout(self.config.gossip_period)
+
+    def _pull(self, addr: Address):
+        """GET_PEERS against one contact (discovery bootstrap)."""
+        try:
+            entries = yield self.runtime.call(
+                Stub(GOSSIP_OBJECT, addr), "get_peers",
+                self.config.gossip_peer_limit,
+                timeout=self.config.call_timeout,
+            )
+        except RemoteError:
+            self.store.mark_failed(addr)
+            return
+        for pid, role, address in entries:
+            self._learn(pid, role, address, heard=False)
+        self._trace("pull", contact=str(addr), learned=len(entries))
+
+    def _push_round(self) -> None:
+        rng = self.rng.child("round", self._round_no)
+        targets = self.store.sample(rng, self.config.gossip_fanout)
+        chosen = {t.address for t in targets}
+        # priority sinks hear every round (bounded: one spawner + one standby)
+        for record in self.store.records():
+            if record.role in PRIORITY_ROLES and record.address not in chosen:
+                targets.append(record)
+                chosen.add(record.address)
+        if not targets:
+            return
+        sample = [
+            r.entry()
+            for r in self.store.sample(rng.child("exchange"),
+                                       self.config.gossip_exchange)
+        ]
+        rumors = dict(self.rumors)
+        for record in targets:
+            self.runtime.oneway(
+                Stub(GOSSIP_OBJECT, record.address), "push",
+                self.peer_id, self.role, self.address, sample, rumors,
+            )
+            self.pushes_sent += 1
+        self._count("gossip_pushes_sent", n=len(targets))
+        self._trace("push", targets=len(targets), rumors=len(rumors))
+
+    def _probe_round(self) -> None:
+        """Ping one deterministic victim per round: the liveness feedback
+        the eviction score's ``fails`` component runs on."""
+        victims = self.store.sample(self.rng.child("probe", self._round_no), 1)
+        if victims:
+            self.host.spawn(self._probe(victims[0].address),
+                            label=f"gossip:{self.peer_id}:probe")
+
+    def _probe(self, address: Address):
+        try:
+            yield self.runtime.call(
+                Stub(GOSSIP_OBJECT, address), "ping",
+                timeout=min(self.config.call_timeout, self.config.gossip_period),
+            )
+        except RemoteError:
+            self.store.mark_failed(address)
+            self._count("gossip_probe_failures")
+            self._trace("probe_fail", peer=str(address))
+        else:
+            self.store.mark_alive(address, self.sim.now)
+
+    # -- observability ------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1, **labels) -> None:
+        if self.registry is not None:
+            self.registry.counter(name, GOSSIP_METRIC_HELP[name]).inc(n, **labels)
+
+    def _trace(self, kind: str, **attrs) -> None:
+        tr = self.sim.tracer
+        if tr.enabled:
+            tr.emit(self.sim.now, "gossip", self.peer_id, kind, **attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<GossipAgent {self.peer_id} role={self.role} "
+                f"peers={len(self.store)} rumors={len(self.rumors)}>")
+
+
+GOSSIP_METRIC_HELP = {
+    "gossip_pushes_sent": "push-gossip rounds' messages sent",
+    "gossip_pushes_received": "push-gossip messages received",
+    "gossip_rumors_merged": "rumor versions adopted from peers",
+    "gossip_peers_evicted": "peer-store evictions (bounded view)",
+    "gossip_probe_failures": "liveness probes that timed out",
+}

@@ -71,12 +71,17 @@ class Testbed:
     daemon_hosts: list[Host] = field(default_factory=list)
     superpeer_hosts: list[Host] = field(default_factory=list)
     spawner_host: Host | None = None
+    #: present only when built with ``with_standby=True`` — the machine the
+    #: warm-standby Spawner shadows from (docs/gossip.md)
+    standby_host: Host | None = None
 
     @property
     def all_hosts(self) -> list[Host]:
         out = list(self.superpeer_hosts) + list(self.daemon_hosts)
         if self.spawner_host is not None:
             out.append(self.spawner_host)
+        if self.standby_host is not None:
+            out.append(self.standby_host)
         return out
 
     def speed_spread(self) -> tuple[float, float]:
@@ -95,6 +100,7 @@ def build_testbed(
     jitter: float = 0.05,
     link_scale: float = 1.0,
     loss_rate: float = 0.0,
+    with_standby: bool = False,
 ) -> Testbed:
     """Create a :class:`Testbed` with the paper's host population shape.
 
@@ -195,4 +201,13 @@ def build_testbed(
         ram_mb=PAPER_SUPERPEER_CLASS.ram_mb,
         tags=(PAPER_SUPERPEER_CLASS.name, GIGABIT_ETHERNET.name),
     )
+    if with_standby:
+        # created LAST so every pre-existing host keeps its creation order
+        # (and rng stream) — a standby-less build stays bit-identical
+        testbed.standby_host = network.new_host(
+            "standby-host",
+            speed=PAPER_SUPERPEER_CLASS.speed,
+            ram_mb=PAPER_SUPERPEER_CLASS.ram_mb,
+            tags=(PAPER_SUPERPEER_CLASS.name, GIGABIT_ETHERNET.name),
+        )
     return testbed

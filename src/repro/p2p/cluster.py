@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, FaultError
 from repro.des import Simulator, TimerWheel
+from repro.gossip import GossipAgent
 from repro.net.address import Address
 from repro.net.host import Host
 from repro.net.topology import Testbed, build_testbed
@@ -21,12 +22,19 @@ from repro.p2p.config import P2PConfig
 from repro.p2p.daemon import Daemon
 from repro.p2p.messages import AppSpec
 from repro.p2p.spawner import Spawner
+from repro.p2p.standby import StandbySpawner
 from repro.p2p.superpeer import SuperPeer
 from repro.obs.instruments import RunTelemetry
 from repro.util.logging import EventLog
 from repro.util.rng import RngTree
 
-__all__ = ["Cluster", "build_cluster", "launch_application", "tier_sizes"]
+__all__ = [
+    "Cluster",
+    "build_cluster",
+    "launch_application",
+    "launch_standby",
+    "tier_sizes",
+]
 
 
 def tier_sizes(n_leaves: int, tiers: int, fanout: int) -> list[int]:
@@ -64,6 +72,12 @@ class Cluster:
     sp_parent: dict[str, str] = field(default_factory=dict)
     #: hierarchy plan: parent -> children
     sp_children: dict[str, list[str]] = field(default_factory=dict)
+    #: applications launched on this cluster (in launch order)
+    apps: list[AppSpec] = field(default_factory=list)
+    #: the §4.2 stable storage, when the run uses one
+    stable_store: object | None = None
+    #: the warm-standby Spawner, when ``config.standby_enabled``
+    standby: StandbySpawner | None = None
 
     @property
     def network(self):
@@ -103,14 +117,22 @@ class Cluster:
         return sum(len(sp.register) for sp in self.superpeers)
 
     def boot_daemon(self, host: Host) -> Daemon:
-        """Boot a fresh Daemon incarnation on ``host``."""
+        """Boot a fresh Daemon incarnation on ``host``.
+
+        Under gossip discovery the Daemon is handed only a SHORT seed
+        contact list (two leaf Super-Peers) instead of the full hardcoded
+        roster; the rest of the entry points are learned epidemically
+        (docs/gossip.md)."""
         incarnation = self.incarnations.get(host.name, 0) + 1
         self.incarnations[host.name] = incarnation
+        seeds = self.superpeer_addresses
+        if self.config.gossip_enabled and self.config.gossip_discovery:
+            seeds = seeds[:2]
         daemon = Daemon(
             network=self.network,
             host=host,
             daemon_id=f"{host.name}#{incarnation}",
-            superpeer_addresses=self.superpeer_addresses,
+            superpeer_addresses=seeds,
             config=self.config,
             rng=self.rng.child("daemon", host.name, incarnation),
             log=self.log,
@@ -143,6 +165,8 @@ class Cluster:
                         sp.link(stubs)
                 else:
                     self._rewire_superpeer(replacement)
+                if self.config.gossip_enabled and replacement.tier == 0:
+                    _attach_superpeer_gossip(self, replacement)
                 return replacement
         raise FaultError(f"host {host.name!r} runs no Super-Peer")
 
@@ -204,6 +228,7 @@ def build_cluster(
         homogeneous=homogeneous,
         link_scale=link_scale,
         loss_rate=loss_rate,
+        with_standby=config.standby_enabled,
     )
     log = EventLog()
     cluster = Cluster(sim=sim, testbed=testbed, config=config, rng=rng, log=log)
@@ -242,6 +267,13 @@ def build_cluster(
         for sp in top:
             sp.link(stubs)
 
+    if config.gossip_enabled:
+        # the epidemic control plane rides the leaf Super-Peers' existing
+        # RMI ports; interior tiers stay out of the overlay (they hold no
+        # Daemon Registers, so advertising them would misroute discovery)
+        for sp in cluster.leaf_superpeers:
+            _attach_superpeer_gossip(cluster, sp)
+
     if config.heartbeat_mode == "wheel":
         cluster.wheel = sim.timer_wheel(config.heartbeat_period)
 
@@ -251,6 +283,42 @@ def build_cluster(
         host.on_recover(lambda h: cluster.boot_daemon(h))
 
     return cluster
+
+
+def _attach_superpeer_gossip(cluster: Cluster, sp: SuperPeer) -> GossipAgent:
+    """Serve a gossip agent on a leaf Super-Peer's existing runtime.
+
+    Keyed by ``host.fail_count`` so a rebooted Super-Peer's agent draws a
+    fresh rng stream (same derivation discipline as Daemon incarnations)."""
+    agent = GossipAgent(
+        sp.runtime,
+        peer_id=sp.sp_id,
+        role="superpeer",
+        config=cluster.config,
+        rng=cluster.rng.child("gossip", sp.sp_id, sp.host.fail_count),
+        seeds=cluster.superpeer_addresses[:2],
+        registry=cluster.telemetry.registry,
+        log=cluster.log,
+    )
+    sp.gossip = agent
+    return agent
+
+
+def _attach_spawner_gossip(cluster: Cluster, spawner: Spawner) -> GossipAgent:
+    """Serve a gossip agent on a Spawner's runtime and wire it into the
+    decentralized convergence detector + leadership-beat publisher."""
+    agent = GossipAgent(
+        spawner.runtime,
+        peer_id=f"spawner:{spawner.app.app_id}",
+        role="spawner",
+        config=spawner.config,
+        rng=spawner.rng.child("gossip"),
+        seeds=cluster.superpeer_addresses[:2],
+        registry=spawner.telemetry.registry,
+        log=cluster.log,
+    )
+    spawner.attach_gossip(agent)
+    return agent
 
 
 def launch_application(
@@ -280,7 +348,46 @@ def launch_application(
         stable_store=stable_store,
     )
     cluster.spawners.append(spawner)
+    cluster.apps.append(app)
+    if stable_store is not None:
+        cluster.stable_store = stable_store
+    if cluster.config.gossip_enabled:
+        _attach_spawner_gossip(cluster, spawner)
     return spawner
+
+
+def launch_standby(
+    cluster: Cluster,
+    app: AppSpec,
+    primary: Spawner,
+    stable_store=None,
+) -> StandbySpawner:
+    """Start the warm-standby Spawner for ``app`` on the standby host.
+
+    The standby shadows ``primary`` by gossip leadership beats plus
+    anti-entropy ``fetch_shadow`` pulls, and promotes itself (under a
+    fenced, strictly higher reign) when the primary dies mid-run — see
+    docs/gossip.md.  Requires a testbed built with a standby host
+    (``config.standby_enabled``)."""
+    host = cluster.testbed.standby_host
+    if host is None:
+        raise ConfigurationError(
+            "the testbed has no standby host (set standby_enabled)"
+        )
+    standby = StandbySpawner(
+        network=cluster.network,
+        host=host,
+        app=app,
+        primary_address=primary.runtime.address,
+        superpeer_addresses=cluster.superpeer_addresses,
+        config=primary.config,
+        rng=cluster.rng.child("standby", app.app_id),
+        log=cluster.log,
+        telemetry=primary.telemetry,
+        stable_store=stable_store,
+    )
+    cluster.standby = standby
+    return standby
 
 
 def resume_application(
@@ -314,6 +421,9 @@ def resume_application(
         telemetry=cluster.telemetry,
         stable_store=stable_store,
         resume_from=snapshot.register,
+        reign=snapshot.reign + 1,
     )
     cluster.spawners.append(spawner)
+    if cluster.config.gossip_enabled:
+        _attach_spawner_gossip(cluster, spawner)
     return spawner

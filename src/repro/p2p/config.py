@@ -33,6 +33,14 @@ class P2PConfig:
     # -- bootstrap / reservation (§5.1–§5.2)
     bootstrap_retry_delay: float = 1.0
     reserve_retry_period: float = 1.5
+    #: exponential-backoff growth per failed full registration sweep; the
+    #: attempt-``k`` delay is ``retry_delay * factor**k`` capped at
+    #: ``bootstrap_retry_max``, stretched by up to ``jitter`` (a
+    #: deterministic per-attempt draw) so a mass outage does not re-register
+    #: in lockstep (the §5.3 relocation storm)
+    bootstrap_backoff_factor: float = 2.0
+    bootstrap_retry_max: float = 8.0
+    bootstrap_retry_jitter: float = 0.1
 
     # -- checkpointing (§5.4; paper experiment values)
     checkpoint_frequency: int = 5
@@ -80,6 +88,35 @@ class P2PConfig:
     #: dead Super-Peer); the rest are fire-and-forget oneways
     wheel_reaffirm_every: int = 25
 
+    # -- epidemic control plane (repro.gossip, docs/gossip.md)
+    #: master switch: when False, no gossip agent is ever created and every
+    #: run is bit-identical to the pre-gossip runtime
+    gossip_enabled: bool = False
+    #: dissemination round period (push + one liveness probe per round)
+    gossip_period: float = 0.5
+    #: random push targets per round (priority roles ride on top)
+    gossip_fanout: int = 2
+    #: bounded peer-store capacity (the membership view)
+    gossip_peer_limit: int = 32
+    #: membership entries piggybacked on each push (peer exchange)
+    gossip_exchange: int = 4
+    #: silence beyond this makes a store entry evictable by a newcomer
+    gossip_stale_after: float = 5.0
+    #: Daemons bootstrap from gossip-learned Super-Peer addresses instead
+    #: of the full hardcoded list (they keep a short seed contact list)
+    gossip_discovery: bool = True
+    #: the Spawner requires the epidemic stability aggregate to agree with
+    #: its centralized array before declaring global convergence
+    gossip_convergence: bool = True
+
+    # -- warm-standby Spawner (docs/gossip.md failover state machine)
+    standby_enabled: bool = False
+    standby_port: int = 4300
+    #: anti-entropy shadow pull cadence (on a register-version gap)
+    standby_sync_period: float = 0.5
+    #: leadership-beat silence that triggers the takeover probe
+    standby_takeover_timeout: float = 2.0
+
     # -- execution pacing
     #: floor on per-iteration duration: bounds the event rate of a task
     #: spinning on stale data (real Jace iterations also have JVM overhead)
@@ -120,8 +157,33 @@ class P2PConfig:
             raise ConfigurationError("heartbeat_mode must be 'process' or 'wheel'")
         if self.wheel_reaffirm_every < 1:
             raise ConfigurationError("wheel_reaffirm_every must be >= 1")
-        ports = {self.superpeer_port, self.daemon_port, self.spawner_port}
-        if len(ports) != 3:
+        if self.bootstrap_backoff_factor < 1.0:
+            raise ConfigurationError("bootstrap_backoff_factor must be >= 1")
+        if self.bootstrap_retry_max < self.bootstrap_retry_delay:
+            raise ConfigurationError(
+                "bootstrap_retry_max must be >= bootstrap_retry_delay"
+            )
+        if self.bootstrap_retry_jitter < 0:
+            raise ConfigurationError("bootstrap_retry_jitter must be >= 0")
+        if self.gossip_period <= 0:
+            raise ConfigurationError("gossip_period must be positive")
+        if self.gossip_fanout < 1:
+            raise ConfigurationError("gossip_fanout must be >= 1")
+        if self.gossip_peer_limit < 2:
+            raise ConfigurationError("gossip_peer_limit must be >= 2")
+        if self.gossip_exchange < 0:
+            raise ConfigurationError("gossip_exchange must be >= 0")
+        if self.gossip_stale_after <= 0:
+            raise ConfigurationError("gossip_stale_after must be positive")
+        if self.standby_sync_period <= 0:
+            raise ConfigurationError("standby_sync_period must be positive")
+        if self.standby_takeover_timeout <= self.monitor_period:
+            raise ConfigurationError(
+                "standby_takeover_timeout must exceed monitor_period"
+            )
+        ports = {self.superpeer_port, self.daemon_port, self.spawner_port,
+                 self.standby_port}
+        if len(ports) != 4:
             raise ConfigurationError("entity ports must be distinct")
 
     def with_(self, **changes) -> "P2PConfig":

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.checkpoint import Backup, BackupPolicy, BackupStore, choose_latest
 from repro.convergence import LocalConvergenceDetector
+from repro.gossip import GossipAgent
 from repro.des import Simulator, TimerWheel
 from repro.errors import ConfigurationError, RemoteError, TaskError
 from repro.net.address import Address
@@ -31,6 +32,7 @@ from repro.net.host import BASE_FLOPS, Host
 from repro.net.network import Network
 from repro.p2p.config import P2PConfig
 from repro.p2p.messages import ApplicationRegister
+from repro.p2p.spawner import SPAWNER_OBJECT
 from repro.p2p.superpeer import SUPERPEER_OBJECT
 from repro.p2p.task import Task, TaskContext
 from repro.obs.instruments import RunTelemetry
@@ -78,6 +80,9 @@ class TaskRunner:
         self.spawner_stub = spawner_stub
         self.epoch = epoch
         self.restart = restart
+        #: fencing reign of the Spawner we obey (a standby takeover
+        #: announces a higher reign; lower-reign announcements are stale)
+        self.leader_reign = 1
         self.telemetry = telemetry
         self.policy = BackupPolicy(
             num_tasks=num_tasks,
@@ -279,6 +284,15 @@ class TaskRunner:
             self.spawner_stub, "set_state",
             self.app_id, self.task_id, self.epoch, self.detector.stable,
         )
+        if self.daemon.gossip is not None and self.config.gossip_convergence:
+            # the epidemic path: the same bit as a versioned rumor, merged
+            # by (epoch, flip count) so stale incarnations lose (§5.5
+            # decentralized)
+            self.daemon.gossip.set_rumor(
+                ("stab", self.app_id, self.task_id),
+                (self.epoch, self.detector.flips),
+                self.detector.stable,
+            )
         if self.telemetry is not None:
             self.telemetry.convergence_messages += 1
 
@@ -319,11 +333,28 @@ class Daemon(RemoteObject):
         self._resyncing = False
         self.sp_stub: Stub | None = None
         self.registered = False
+        self._retry_attempt = 0
         self.runtime = RmiRuntime(
             network, host, config.daemon_port, name=daemon_id, log=log,
             call_timeout=config.call_timeout,
         )
         self.stub = self.runtime.serve(self, DAEMON_OBJECT)
+        self.gossip: GossipAgent | None = None
+        if config.gossip_enabled:
+            self.gossip = GossipAgent(
+                runtime=self.runtime,
+                peer_id=daemon_id,
+                role="daemon",
+                config=config,
+                rng=rng.child("gossip"),
+                seeds=list(superpeer_addresses),
+                registry=telemetry.registry if telemetry is not None else None,
+                log=log,
+            )
+            # epidemic takeover path: leadership beats under a higher reign
+            # re-point a computing runner even when the promoted standby's
+            # direct announcement missed it (stale shadow)
+            self.gossip.subscribe(("spawner",), self._on_spawner_rumor)
         #: memoized reaffirm-call envelope size (constant per Super-Peer:
         #: the ``heartbeat`` call carries only this Daemon's fixed id, and
         #: an int ``call_id`` charges 8 bytes whatever its value)
@@ -386,9 +417,18 @@ class Daemon(RemoteObject):
             yield self.sim.timeout(self.config.heartbeat_period)
 
     def _bootstrap(self):
-        """Try Super-Peer addresses in random order until one accepts us."""
+        """Try Super-Peer addresses in random order until one accepts us.
+
+        With gossip discovery on, the candidate set is the short seed
+        contact list *plus* every Super-Peer the gossip overlay has
+        surfaced since — §5.1's hardcoded list shrinks to one well-known
+        entry point.  A fully failed sweep backs off exponentially with
+        deterministic jitter (seeded per attempt), so a mass relocation
+        after a Super-Peer outage does not hammer the survivors in
+        lockstep."""
+        addresses = self._superpeer_candidates()
         addresses = self.rng.child("bootstrap", self.host.fail_count).shuffled(
-            self.superpeer_addresses
+            addresses
         )
         for addr in addresses:
             if self.runner is not None:
@@ -400,6 +440,8 @@ class Daemon(RemoteObject):
                     timeout=self.config.call_timeout,
                 )
             except RemoteError:
+                if self.gossip is not None:
+                    self.gossip.store.mark_failed(addr)
                 continue
             if self.runner is not None:
                 # assigned a task while this registration was in flight:
@@ -410,9 +452,37 @@ class Daemon(RemoteObject):
             if ok:
                 self.sp_stub = candidate
                 self.registered = True
+                self._retry_attempt = 0
                 self._log("daemon_registered", superpeer=str(addr))
                 return
-        yield self.sim.timeout(self.config.bootstrap_retry_delay)
+        yield self.sim.timeout(self._retry_backoff())
+
+    def _superpeer_candidates(self) -> list[Address]:
+        """Seed contacts plus gossip-learned Super-Peer addresses."""
+        if self.gossip is None or not self.config.gossip_discovery:
+            return list(self.superpeer_addresses)
+        merged = list(self.superpeer_addresses)
+        for addr in self.gossip.known_addresses("superpeer"):
+            if addr not in merged:
+                merged.append(addr)
+        return merged
+
+    def _retry_backoff(self) -> float:
+        """Bounded exponential backoff + deterministic jitter for one fully
+        failed registration sweep."""
+        attempt = self._retry_attempt
+        self._retry_attempt += 1
+        config = self.config
+        delay = min(
+            config.bootstrap_retry_delay * config.bootstrap_backoff_factor ** attempt,
+            config.bootstrap_retry_max,
+        )
+        if config.bootstrap_retry_jitter > 0:
+            draw = self.rng.child("backoff", self.host.fail_count, attempt).uniform()
+            delay *= 1.0 + config.bootstrap_retry_jitter * draw
+        self._trace("register_retry", attempt=attempt, delay=delay)
+        self._log("daemon_register_retry", attempt=attempt, delay=delay)
+        return delay
 
     # -- wheel-mode heartbeating (docs/scaling.md) -----------------------------
 
@@ -555,6 +625,83 @@ class Daemon(RemoteObject):
         self._trace("assign", app=app_id, task=task_id, epoch=epoch,
                     restart=restart)
         return True
+
+    @remote
+    def adopt_spawner(self, app_id: str, reign: int, spawner_stub: Stub) -> bool:
+        """A takeover announcement: re-point heartbeats and stability
+        reports at a new Spawner incarnation.
+
+        Reign fencing keeps exactly one leader authoritative: a lower (or
+        equal) reign is a stale incumbent — e.g. the original primary
+        resurrecting after a standby already took over — and is refused,
+        so its announcements can never steal the computation back."""
+        runner = self.runner
+        if runner is None or runner.app_id != app_id:
+            return False
+        if reign <= runner.leader_reign:
+            self._trace("adopt_refused", reign=reign,
+                        current=runner.leader_reign)
+            return False
+        runner.leader_reign = reign
+        runner.spawner_stub = spawner_stub
+        self._log("daemon_adopted_spawner", reign=reign,
+                  spawner=str(spawner_stub.address))
+        self._trace("adopt_spawner", reign=reign)
+        # reconcile with the new leader's register (idempotent when its
+        # shadow already knew us; reclaims our slot when it did not)
+        self.host.spawn(self._reattach(runner, spawner_stub),
+                        label=f"{self.daemon_id}:reattach")
+        return True
+
+    def _on_spawner_rumor(self, key, version, value) -> None:
+        """A ``("spawner", app)`` leadership beat merged by our gossip agent.
+
+        The beat carries the leader's address, so a ghost runner — one whose
+        Spawner died and whose slot the standby's shadow never recorded —
+        still learns the new leader epidemically and re-attaches, instead of
+        heartbeating a dead address forever."""
+        runner = self.runner
+        if runner is None or len(key) < 2 or key[1] != runner.app_id:
+            return
+        reign = int(version[0])
+        if reign <= runner.leader_reign:
+            return
+        address = value.get("address") if isinstance(value, dict) else None
+        if address is None:
+            return
+        stub = Stub(SPAWNER_OBJECT, address)
+        runner.leader_reign = reign
+        runner.spawner_stub = stub
+        self._log("daemon_adopted_spawner", reign=reign, spawner=str(address),
+                  via="gossip")
+        self._trace("adopt_spawner", reign=reign, via="gossip")
+        self.host.spawn(self._reattach(runner, stub),
+                        label=f"{self.daemon_id}:reattach")
+
+    def _reattach(self, runner: TaskRunner, spawner_stub: Stub):
+        """Reconcile this runner's slot with a newly adopted leader."""
+        try:
+            accepted = yield self.runtime.call(
+                spawner_stub, "reattach_task", runner.app_id, runner.task_id,
+                runner.epoch, self.daemon_id, self.stub,
+                timeout=self.config.call_timeout,
+            )
+        except RemoteError:
+            return  # leader unreachable: the next beat will retry adoption
+        if self.runner is not runner or runner.halted:
+            return
+        if not accepted:
+            # the leader's register outranks this incarnation (a replacement
+            # already owns the slot): stop computing and rejoin the idle
+            # pool instead of burning the host on orphaned iterations
+            self._log("daemon_reattach_refused", task=runner.task_id,
+                      epoch=runner.epoch)
+            self._trace("reattach_refused", task=runner.task_id,
+                        epoch=runner.epoch)
+            runner.halted = True
+        else:
+            self._trace("reattach_ok", task=runner.task_id,
+                        epoch=runner.epoch)
 
     @remote
     def update_register(self, register: ApplicationRegister) -> bool:

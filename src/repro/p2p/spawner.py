@@ -48,12 +48,16 @@ class Spawner(RemoteObject):
         telemetry: RunTelemetry | None = None,
         stable_store=None,
         resume_from: ApplicationRegister | None = None,
+        reign: int = 1,
     ):
         """``stable_store`` persists the Application Register on every
         membership change (the §4.2 fault-tolerance direction);
         ``resume_from`` boots this Spawner as the *replacement* of a failed
         one, adopting its register (epochs intact) instead of starting from
-        empty slots."""
+        empty slots.  ``reign`` is the leadership-fencing number: every
+        takeover (standby promotion or stable-storage resume) runs under a
+        strictly higher reign, and Daemons refuse adoption announcements
+        that do not advance it — the exactly-one-leader guarantee."""
         if not superpeer_addresses:
             raise ConfigurationError("the Spawner needs at least one Super-Peer address")
         self.sim: Simulator = network.sim
@@ -97,6 +101,18 @@ class Spawner(RemoteObject):
         self.broadcast_bytes = 0
         self.resyncs_served = 0
         self.register_repairs = 0
+        self.reign = reign
+        #: attached via :meth:`attach_gossip`; None keeps every legacy code
+        #: path untouched (bitwise identity with gossip disabled)
+        self.gossip = None
+        self._beat = 0  # leadership-beat counter, versioned under the reign
+        #: epidemic stability bits: task_id -> (epoch, flips, stable) — the
+        #: decentralized detector's view, merged from gossip rumors
+        self._epidemic_bits: dict[int, tuple[int, int, bool]] = {}
+        self.crosscheck_agreements = 0
+        self.epidemic_lags = 0
+        self.reattachments = 0
+        self._reattach_dirty = False
         self.threshold = (
             app.convergence_threshold
             if app.convergence_threshold is not None
@@ -180,13 +196,40 @@ class Spawner(RemoteObject):
         self.tracker.set_state(task_id, stable)
         if not stable:
             self._unstable_generation += 1
-        if self.tracker.converged:
-            if self.config.detection_mode == "immediate":
-                self._finish()
-            elif not self._dwell_active:
-                self._dwell_active = True
-                self.host.spawn(self._verification_dwell(),
-                                label=f"spawner:{self.app.app_id}:dwell")
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        """Both detectors must agree before the halt decision (§5.5 plus the
+        decentralized cross-check): the centralized array says converged AND
+        the epidemic aggregate confirms it.  With gossip disabled the
+        epidemic gate is vacuously true and this is exactly the historical
+        decision."""
+        if self.done.triggered or not self.tracker.converged:
+            return
+        if not self._epidemic_agrees():
+            self.epidemic_lags += 1
+            self._trace("epidemic_lag", stable=self.tracker.stable_count)
+            return
+        if self.gossip is not None and self.config.gossip_convergence:
+            self.crosscheck_agreements += 1
+        if self.config.detection_mode == "immediate":
+            self._finish()
+        elif not self._dwell_active:
+            self._dwell_active = True
+            self.host.spawn(self._verification_dwell(),
+                            label=f"spawner:{self.app.app_id}:dwell")
+
+    def _epidemic_agrees(self) -> bool:
+        """True when every task's epidemically-aggregated stability bit is
+        set for its *current* epoch (the epoch guard discards rumors from
+        replaced incarnations)."""
+        if self.gossip is None or not self.config.gossip_convergence:
+            return True
+        for slot in self.register.slots:
+            bit = self._epidemic_bits.get(slot.task_id)
+            if bit is None or bit[0] != slot.epoch or not bit[2]:
+                return False
+        return True
 
     @remote
     def ping(self) -> bool:
@@ -207,13 +250,20 @@ class Spawner(RemoteObject):
             self._broadcast_register()
             self._persist()
         while not self.done.triggered:
+            self._publish_leadership()
             changed = self._detect_failures()
+            if self._reattach_dirty:
+                changed = True
+                self._reattach_dirty = False
             unassigned = [s for s in self.register.slots if not s.assigned]
             if unassigned:
                 changed |= yield from self._fill_slots(unassigned)
             if changed:
                 self._broadcast_register()
                 self._persist()
+                # beat again so the standby's shadow learns the new
+                # register version within a gossip round, not a monitor one
+                self._publish_leadership()
             yield self.sim.timeout(self.config.monitor_period)
 
     def _detect_failures(self) -> bool:
@@ -284,26 +334,36 @@ class Spawner(RemoteObject):
 
     def _reserve(self, count: int):
         """Ask the Super-Peer network for up to ``count`` Daemons, trying
-        bootstrap addresses in random order until one Super-Peer answers
-        (it forwards unmet demand itself, §5.2)."""
+        bootstrap addresses in random order and accumulating partial grants
+        until the demand is met (a Super-Peer forwards unmet demand itself,
+        §5.2).  Each contact gets its *own* timeout, sized for one request
+        walking the whole forwarding graph; a partial grant no longer wins
+        the sweep outright — the remainder is re-requested from the next
+        contact instead of silently under-filling the slots."""
         addresses = self.rng.child("reserve", self.sim.event_count).shuffled(
             self.superpeer_addresses
         )
+        pairs = []
         for addr in addresses:
             sp = Stub(SUPERPEER_OBJECT, addr)
             try:
                 # a forwarded request may walk the whole mesh — and, when
                 # tiered, each hop may recurse through the hierarchy
-                pairs = yield self.runtime.call(
-                    sp, "reserve", count, (),
-                    timeout=(self.config.call_timeout * max(1, len(addresses))
-                             * max(1, self.config.superpeer_tiers)),
+                got = yield self.runtime.call(
+                    sp, "reserve", count - len(pairs), (),
+                    timeout=(self.config.call_timeout
+                             * max(1, self.config.superpeer_tiers)
+                             * max(1, len(self.superpeer_addresses))),
                 )
             except RemoteError:
+                self._trace("reserve_timeout", contact=str(addr),
+                            granted=len(pairs), wanted=count)
                 continue
-            if pairs:
-                return pairs
-        return []
+            if got:
+                pairs.extend(got)
+                if len(pairs) >= count:
+                    break
+        return pairs[:count]
 
     def _broadcast_register(self) -> None:
         """Push the updated Application Register to every computing peer
@@ -347,7 +407,7 @@ class Spawner(RemoteObject):
         if self.stable_store is not None:
             self.stable_store.save(
                 self.app.app_id, self.register, self.config.spawner_port,
-                self.sim.now,
+                self.sim.now, reign=self.reign,
             )
 
     @remote
@@ -358,6 +418,113 @@ class Spawner(RemoteObject):
         self.resyncs_served += 1
         return self.register.snapshot()
 
+    # -- epidemic control plane (repro.gossip, docs/gossip.md) ------------------
+
+    def attach_gossip(self, agent) -> None:
+        """Wire a :class:`~repro.gossip.GossipAgent` into the control plane:
+        the agent feeds the decentralized convergence detector and carries
+        the leadership beats the warm standby watches."""
+        self.gossip = agent
+        agent.subscribe(("stab", self.app.app_id), self._on_stab_rumor)
+        # replay rumors the agent merged before we attached (a promoted
+        # standby's agent has been shadowing stability bits all along)
+        for key, (version, value) in list(agent.rumors.items()):
+            if key[:2] == ("stab", self.app.app_id):
+                self._on_stab_rumor(key, version, value)
+        self._publish_leadership()
+
+    def _on_stab_rumor(self, key, version, value) -> None:
+        """Merge one epidemically-delivered local-stability bit.
+
+        ``key = ("stab", app_id, task_id)``, ``version = (epoch, flips)``,
+        ``value = stable``.  Versions are monotone per key (the agent only
+        fires on merges), so a replaced incarnation's bits lose to the
+        higher epoch by tuple order."""
+        task_id = key[2]
+        if not 0 <= task_id < self.app.num_tasks:
+            return
+        self._epidemic_bits[task_id] = (version[0], version[1], bool(value))
+        self._maybe_finish()
+
+    def _publish_leadership(self) -> None:
+        """One leadership beat per maintenance round: a ``("spawner", app)``
+        rumor versioned ``(reign, beat)``.  The standby watches this beat
+        advance; silence beyond ``standby_takeover_timeout`` arms its
+        takeover probe."""
+        if self.gossip is None:
+            return
+        self._beat += 1
+        self.gossip.set_rumor(
+            ("spawner", self.app.app_id), (self.reign, self._beat),
+            {"version": self.register.version,
+             "address": self.runtime.address},
+        )
+
+    @remote
+    def fetch_shadow(self, app_id: str):
+        """Anti-entropy pull by the warm standby: the full recovery state
+        (register snapshot, heartbeat-ledger ages, reign) in one call."""
+        if app_id != self.app.app_id:
+            return None
+        ages = {t: self.sim.now - seen for t, seen in self.last_seen.items()}
+        return (self.register.snapshot(), ages, self.reign)
+
+    @remote
+    def reattach_task(
+        self, app_id: str, task_id: int, epoch: int, daemon_id: str,
+        daemon_stub: Stub,
+    ) -> bool:
+        """A surviving computing peer reclaims its slot after a takeover.
+
+        A promoted standby may boot from a shadow older than the live
+        membership (its last anti-entropy pull predated assignments the
+        dead primary made).  Peers that adopted the new leader over gossip
+        call this to reconcile: a claimant whose epoch outranks an *empty*
+        slot is re-admitted with its incarnation intact (no Backup restart);
+        a claimant outranked by the slot's current occupant is refused and
+        halts itself — the slot already has a live replacement."""
+        if app_id != self.app.app_id or not 0 <= task_id < self.app.num_tasks:
+            return False
+        if self.done.triggered:
+            return False
+        slot = self.register.slot(task_id)
+        if slot.daemon_id == daemon_id and slot.epoch == epoch:
+            self.last_seen[task_id] = self.sim.now
+            return True  # already current (the warm-shadow path): idempotent
+        if slot.assigned or slot.epoch > epoch:
+            # an equal-epoch claimant of an EMPTY slot is the very daemon
+            # this epoch was fenced for (failure detection cleared it but
+            # kept the epoch) — readmit it; anything older is refused
+            return False
+        slot.daemon_id = daemon_id
+        slot.daemon_stub = daemon_stub
+        slot.epoch = epoch
+        self.register.version += 1
+        self._changed_since_broadcast.add(task_id)
+        self._reattach_dirty = True
+        self.last_seen[task_id] = self.sim.now
+        self.tracker.reset_task(task_id)
+        self.reattachments += 1
+        self._log("spawner_reattach", task=task_id, daemon=daemon_id,
+                  epoch=epoch)
+        self._trace("reattach", task=task_id, daemon=daemon_id, epoch=epoch)
+        return True
+
+    def announce_takeover(self) -> None:
+        """Tell every assigned computing peer to adopt this Spawner as its
+        leader.  Reliable oneways, fenced by the reign: a peer that already
+        adopted a higher reign refuses (exactly-one-leader)."""
+        for slot in self.register.slots:
+            if slot.assigned:
+                self.runtime.oneway(
+                    slot.daemon_stub, "adopt_spawner",
+                    self.app.app_id, self.reign, self.stub,
+                    reliable=True,
+                )
+        self._trace("takeover_announced", reign=self.reign)
+        self._log("spawner_takeover", reign=self.reign,
+                  version=self.register.version)
+
     def _verification_dwell(self):
         """The §8 hardening: declare convergence only if the array stays
         all-stable for a dwell period (outlasting in-flight messages)."""
@@ -366,13 +533,14 @@ class Spawner(RemoteObject):
         self._dwell_active = False
         if self.done.triggered:
             return
-        if self.tracker.converged and generation == self._unstable_generation:
+        if (self.tracker.converged and generation == self._unstable_generation
+                and self._epidemic_agrees()):
             self._finish()
         else:
             self.dwell_aborts += 1
             self._log("spawner_dwell_aborted")
             # if the system is all-stable again already, re-arm immediately
-            if self.tracker.converged:
+            if self.tracker.converged and self._epidemic_agrees():
                 self._dwell_active = True
                 self.host.spawn(self._verification_dwell(),
                                 label=f"spawner:{self.app.app_id}:dwell")

@@ -42,6 +42,10 @@ class SpawnerSnapshot:
     register: ApplicationRegister
     spawner_port: int
     saved_at: float
+    #: leadership-fencing number of the Spawner that wrote the snapshot; a
+    #: resumed Spawner reigns at ``reign + 1`` so standbys and daemons can
+    #: order competing leaders
+    reign: int = 1
 
 
 class StableStore:
@@ -57,12 +61,13 @@ class StableStore:
         self.saves = 0
 
     def save(self, app_id: str, register: ApplicationRegister,
-             spawner_port: int, now: float) -> None:
+             spawner_port: int, now: float, reign: int = 1) -> None:
         self._snapshots[app_id] = SpawnerSnapshot(
             app_id=app_id,
             register=register.snapshot(),
             spawner_port=spawner_port,
             saved_at=now,
+            reign=reign,
         )
         self.saves += 1
 
@@ -76,6 +81,7 @@ class StableStore:
             register=snap.register.snapshot(),
             spawner_port=snap.spawner_port,
             saved_at=snap.saved_at,
+            reign=snap.reign,
         )
 
     def forget(self, app_id: str) -> None:

@@ -17,6 +17,7 @@ from repro.faults import (
     action_from_dict,
     scenario,
     scenario_names,
+    scenario_overrides,
 )
 from repro.p2p import build_cluster
 from repro.util.rng import RngTree
@@ -83,12 +84,26 @@ def test_plans_compose_with_add():
 
 def test_scenario_catalogue():
     assert set(scenario_names()) == set(SCENARIOS)
+    # all nine scenarios, including the control-plane trio added with the
+    # gossip failover work
+    assert {"spawner-down", "standby-flap", "discovery-storm"} <= set(SCENARIOS)
+    assert len(SCENARIOS) == 9
     for name in scenario_names():
         plan = scenario(name)
         assert len(plan) >= 1
         assert plan.name == name
+        # every catalogued plan survives the dict round-trip (cache keys);
+        # serialization is schedule-ordered, so compare schedules
+        assert FaultPlan.from_dict(plan.to_dict()).schedule() == plan.schedule()
     with pytest.raises(ConfigurationError):
         scenario("no-such-scenario")
+
+
+def test_scenario_overrides_surface_control_plane_requirements():
+    assert scenario_overrides("spawner-down") == {"gossip": True,
+                                                  "standby": True}
+    assert scenario_overrides("discovery-storm") == {"gossip": True}
+    assert scenario_overrides("churn-burst") == {}
 
 
 def test_runspec_carries_faults_through_dict():
