@@ -54,6 +54,7 @@ RUN_KW = dict(
         heartbeat_period=30.0,
         heartbeat_timeout=95.0,
         monitor_period=30.0,
+        standby_takeover_timeout=95.0,
         checkpoint_frequency=10_000,
         stability_window=3,
     ),

@@ -69,15 +69,23 @@ GATES: dict[str, tuple[Gate, ...]] = {
     # swarm-scale run (benchmarks/bench_swarm.py): a >= 10k-Daemon tiered
     # wheel-mode run must stay tractable.  events_per_sec is wall-clock
     # dependent, hence the wide allowance plus an absolute floor (raised
-    # after the kernel/message-plane throughput overhaul re-recorded the
-    # baseline at >= 2x the original 33k events/s);
+    # once by the kernel/message-plane throughput overhaul, and again by
+    # the batched compute plane re-recording the baseline at >= 1.5x the
+    # overhaul's 39k events/s);
     # heartbeat_collapse_ratio (process-mode events / wheel-mode events at
     # identical scale) is deterministic and machine-independent
     "BENCH_swarm.json": (
         Gate("daemons", True, 0.05, floor=10_000),
-        Gate("events_per_sec", True, 0.50, floor=20_000),
+        Gate("events_per_sec", True, 0.50, floor=59_000),
         Gate("peak_rss_mb", False, 0.25, floor=200.0),
         Gate("heartbeat_collapse_ratio", True, 0.30, floor=1.5),
+    ),
+    # batched compute plane (benchmarks/bench_compute.py): panel-mode
+    # cohort solves vs the full hot-path bypass on the compute-heavy
+    # direct-solver run.  The ratio is measured between sibling arms in
+    # the same job, so the floor is machine-independent
+    "BENCH_compute.json": (
+        Gate("speedup", True, 0.25, floor=1.8),
     ),
     # disabled-tracer guard cost ratios (benchmarks/bench_obs_overhead.py);
     # nanosecond-scale timing, so the allowance is deliberately loose —
@@ -115,6 +123,13 @@ REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     ),
     "BENCH_gossip.json": (
         "takeover_converged", "takeover_latency_s", "events",
+    ),
+    # bitwise_identical is the identity arm's verdict: the auto-mode plane
+    # must remain invisible to the simulation, and a benchmark silently
+    # dropping that arm (or recording False) must fail the gate
+    "BENCH_compute.json": (
+        "speedup", "bitwise_identical", "wall_seconds_plane",
+        "wall_seconds_bypass", "batched_columns",
     ),
 }
 

@@ -31,6 +31,10 @@ AUDITED = {
     "repro.rmi.invocation": [
         "CallMessage", "ReplyMessage", "OnewayMessage", "PreparedOneway",
     ],
+    # the batched compute plane: one CohortMember per live task, touched
+    # on every inner solve; StepPlan is created once per iteration
+    "repro.compute.plane": ["ComputePlane", "Cohort", "CohortMember"],
+    "repro.p2p.task": ["StepPlan"],
 }
 
 

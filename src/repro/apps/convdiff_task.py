@@ -103,7 +103,7 @@ class ConvectionDiffusionTask(Task):
             result = bicgstab(blk.A_local, rhs, tol=self.inner_tol)
             self.x = result.x
             distance = update_distance(blk.owned_of(self.x), old_owned)
-        outgoing = {nb: blk.values_to_send(self.x, nb) for nb in blk.send_map}
+        outgoing = blk.outgoing_payloads(self.x)
         flops = result.flops + 2.0 * blk.B_coupling.nnz
         return IterationStep(
             flops=flops,

@@ -129,7 +129,7 @@ class HeatTask(Task):
                 x = x + self.dt * (rhs - blk.A_local @ x)
             self.x = x
             distance = update_distance(blk.owned_of(self.x), old_owned)
-        outgoing = {nb: blk.values_to_send(self.x, nb) for nb in blk.send_map}
+        outgoing = blk.outgoing_payloads(self.x)
         flops = self.steps * (2.0 * blk.A_local.nnz + 4.0 * blk.n_ext)
         return IterationStep(flops=flops, outgoing=outgoing, local_distance=distance)
 

@@ -129,7 +129,7 @@ class JacobiTask(Task):
                 x = self.inv_diag * (rhs - self.R @ x)
             self.x = x
             distance = update_distance(blk.owned_of(self.x), old_owned)
-        outgoing = {nb: blk.values_to_send(self.x, nb) for nb in blk.send_map}
+        outgoing = blk.outgoing_payloads(self.x)
         flops = self.sweeps * (2.0 * self.R.nnz + 3.0 * blk.n_ext) + 2.0 * blk.B_coupling.nnz
         return IterationStep(flops=flops, outgoing=outgoing, local_distance=distance)
 

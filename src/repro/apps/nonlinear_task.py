@@ -150,7 +150,7 @@ class NonlinearPoissonTask(Task):
             blk.owned_of(self.x), old_owned,
             work=self._dist_work if self.use_cache else None,
         )
-        outgoing = {nb: blk.values_to_send(self.x, nb) for nb in blk.send_map}
+        outgoing = blk.outgoing_payloads(self.x)
         return IterationStep(flops=flops, outgoing=outgoing,
                              local_distance=distance)
 

@@ -30,7 +30,7 @@ from repro.numerics.poisson import Poisson2D
 from repro.numerics.residual import update_distance
 from repro.numerics.splitting import shared_decomposition
 from repro.p2p.messages import AppSpec
-from repro.p2p.task import IterationStep, Task, TaskContext
+from repro.p2p.task import IterationStep, StepPlan, Task, TaskContext
 
 __all__ = ["PoissonTask", "make_poisson_app"]
 
@@ -121,7 +121,7 @@ class PoissonTask(Task):
 
     # -- iteration ------------------------------------------------------------
 
-    def iterate(self, inbox: dict[int, Any]) -> IterationStep:
+    def _fold_inbox(self, inbox: dict[int, Any]) -> None:
         blk = self.blk
         for src_task, payload in inbox.items():
             positions = blk.ext_sources.get(src_task)
@@ -130,6 +130,10 @@ class PoissonTask(Task):
             values = np.asarray(payload, dtype=float)
             if values.shape == (positions.size,):
                 self.ext[positions] = values
+
+    def iterate(self, inbox: dict[int, Any]) -> IterationStep:
+        blk = self.blk
+        self._fold_inbox(inbox)
 
         op = self._op
         if op is not None:
@@ -168,14 +172,54 @@ class PoissonTask(Task):
             self.x = result.x
             distance = update_distance(blk.owned_of(self.x), old_owned)
 
-        outgoing = {
-            nb: blk.values_to_send(self.x, nb) for nb in blk.send_map
-        }
+        outgoing = blk.outgoing_payloads(self.x)
         # charge the coupling matvec + rhs assembly on top of the CG cost
         flops = result.flops + 2.0 * blk.B_coupling.nnz + 2.0 * blk.n_ext
         return IterationStep(
             flops=flops,
             outgoing=outgoing,
+            local_distance=distance,
+            info={"inner_iterations": result.iterations},
+        )
+
+    # -- compute-plane protocol ----------------------------------------------
+
+    def begin_step(self, inbox: dict[int, Any]) -> StepPlan | None:
+        """The pre-solve half of :meth:`iterate`, for the compute plane.
+
+        Identical inbox fold, rhs assembly and old-iterate snapshot; the
+        inner solve itself is described by the returned plan.  The
+        cache-bypass (``use_cache=False``) configuration keeps the
+        monolithic path — it exists to exercise the legacy code.
+        """
+        if self._op is None:
+            return None
+        blk = self.blk
+        self._fold_inbox(inbox)
+        if self.ext.size:
+            csr_matvec_into(blk.B_coupling, self.ext, self._rhs)
+            np.subtract(blk.b_local, self._rhs, out=self._rhs)
+            rhs = self._rhs
+        else:
+            rhs = blk.b_local  # read-only; the solver never writes b
+        np.copyto(self._old_owned, blk.owned_of(self.x))
+        extra = 2.0 * blk.B_coupling.nnz + 2.0 * blk.n_ext
+        if self.inner_solver == "direct" and blk.n_ext <= self.direct_max_rows:
+            return StepPlan(solver="direct", operator=self._op, rhs=rhs,
+                            tol=self.inner_tol, flops_extra=extra)
+        return StepPlan(solver="cg", operator=self._op, rhs=rhs,
+                        x0=self.x if self.warm_start else None,
+                        tol=self.inner_tol, max_iter=self.inner_max_iter,
+                        flops_extra=extra)
+
+    def finish_step(self, plan: StepPlan, result: Any) -> IterationStep:
+        blk = self.blk
+        self.x = result.x
+        distance = update_distance(blk.owned_of(self.x), self._old_owned,
+                                   work=self._dist_work)
+        return IterationStep(
+            flops=result.flops + plan.flops_extra,
+            outgoing=blk.outgoing_payloads(self.x),
             local_distance=distance,
             info={"inner_iterations": result.iterations},
         )

@@ -5,7 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.util.serialization import clone_state, measured_size, prime_payload_cache
+from repro.util.hotpath import HOTPATH
+from repro.util.serialization import (ENVELOPE_BYTES, clone_state,
+                                      freeze_state, measured_size,
+                                      memoized_payload_size,
+                                      prime_payload_cache)
 
 __all__ = ["Backup"]
 
@@ -14,9 +18,15 @@ __all__ = ["Backup"]
 class Backup:
     """An immutable snapshot of a task's state at one iteration.
 
-    The constructor deep-copies ``state``: a Backup must never alias live
-    task arrays, or later iterations would corrupt the checkpoint and
-    rollback would silently resume from a half-updated state.
+    A Backup must never alias live task arrays, or later iterations would
+    corrupt the checkpoint and rollback would silently resume from a
+    half-updated state.  ``dump_state`` already hands the constructor a
+    private copy, so under :data:`HOTPATH.zerocopy` the constructor only
+    *freezes* that snapshot (``writeable=False`` — accidental aliasing
+    fails loudly instead of corrupting) rather than paying a second full
+    deep copy per checkpoint; :meth:`restore` clones on the rare recovery,
+    so restored tasks always receive writable private arrays.  With the
+    flag off, the original eager double copy is kept.
     """
 
     task_id: int
@@ -29,14 +39,31 @@ class Backup:
     def __post_init__(self) -> None:
         if self.iteration < 0:
             raise ValueError("iteration must be >= 0")
-        object.__setattr__(self, "state", clone_state(self.state))
-        object.__setattr__(self, "nbytes", measured_size(self.state))
+        if HOTPATH.zerocopy:
+            object.__setattr__(self, "state", freeze_state(self.state))
+        else:
+            object.__setattr__(self, "state", clone_state(self.state))
         # Backups are re-sent on every checkpoint transfer: pay the payload
-        # size walk once here rather than on each send.
+        # size walk once here rather than on each send.  One walk serves
+        # both the memo and the ``nbytes`` accounting: every field except
+        # ``state`` is a fixed-size scalar or this app's id string, so the
+        # state's charge falls out of the memo by subtraction (the memo is
+        # planted with the placeholder ``nbytes=0`` — an int charges 8
+        # bytes whatever its value, so the memo stays exact after the
+        # rebind below).
         prime_payload_cache(self)
+        memo = memoized_payload_size(self)
+        if memo is not None:
+            shell = 32 + 8 + 8 + 8 + 8 + len(
+                self.app_id.encode("utf-8", errors="replace")
+            )
+            object.__setattr__(self, "nbytes", ENVELOPE_BYTES + memo - shell)
+        else:
+            object.__setattr__(self, "nbytes", measured_size(self.state))
 
     def restore(self) -> Any:
-        """A private copy of the stored state, safe to hand to a new task."""
+        """A private *writable* copy of the stored state, safe to hand to
+        a new task whichever path snapshotted it."""
         return clone_state(self.state)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

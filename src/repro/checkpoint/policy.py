@@ -46,6 +46,10 @@ class BackupPolicy:
             raise ValueError("count must be >= 0")
         if self.frequency < 1:
             raise ValueError("frequency must be >= 1")
+        # The guarding set is a pure function of (task_id, num_tasks,
+        # count), and target_for_save re-derives it on every checkpoint:
+        # cache per task (frozen dataclass, so plant via object.__setattr__)
+        object.__setattr__(self, "_peers_cache", {})
 
     @property
     def effective_count(self) -> int:
@@ -57,6 +61,12 @@ class BackupPolicy:
         Ordered by proximity, alternating successor/predecessor:
         ``[k+1, k-1, k+2, k-2, ...]`` (mod num_tasks), self excluded.
         """
+        return list(self._cached_peers(task_id))
+
+    def _cached_peers(self, task_id: int) -> tuple[int, ...]:
+        cached = self._peers_cache.get(task_id)
+        if cached is not None:
+            return cached
         if not 0 <= task_id < self.num_tasks:
             raise ValueError(f"task_id {task_id} out of range")
         peers: list[int] = []
@@ -69,12 +79,13 @@ class BackupPolicy:
                 if len(peers) >= self.effective_count:
                     break
             offset += 1
-        return peers
+        self._peers_cache[task_id] = cached = tuple(peers)
+        return cached
 
     def target_for_save(self, task_id: int, save_index: int) -> int | None:
         """Which backup-peer receives the ``save_index``-th checkpoint
         (round-robin over the fixed set); None when nobody guards us."""
-        peers = self.backup_peers(task_id)
+        peers = self._cached_peers(task_id)
         if not peers:
             return None
         return peers[save_index % len(peers)]

@@ -1,0 +1,14 @@
+"""Batched compute plane: cohort-vectorized block solves.
+
+See :mod:`repro.compute.plane` for the architecture and
+:mod:`repro.compute.batched` for the bitwise-safe kernels.
+"""
+
+from repro.compute.batched import (DIRECT_CHUNK, batched_cg,
+                                   chunked_direct_solve, csr_matmat_into,
+                                   panel_probe)
+from repro.compute.plane import Cohort, CohortMember, ComputePlane
+
+__all__ = ["ComputePlane", "Cohort", "CohortMember", "DIRECT_CHUNK",
+           "batched_cg", "chunked_direct_solve", "csr_matmat_into",
+           "panel_probe"]

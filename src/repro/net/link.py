@@ -176,6 +176,14 @@ class HeterogeneousLinkModel(LinkModel):
         latency = a.latency + b.latency  # two first-hop traversals
         bandwidth = min(a.bandwidth, b.bandwidth)
         d = latency + nbytes / bandwidth
-        if self._jitter_stream is not None:
-            d *= self._jitter_stream.factor()
+        js = self._jitter_stream
+        if js is not None:
+            # inlined _JitterStream.factor() (bitwise-identical draws):
+            # one message-plane call frame saved per send
+            buf, pos = js._buf, js._pos
+            if buf is None or pos == js._BLOCK:
+                buf = js._buf = js.generator.random(js._BLOCK)
+                pos = 0
+            js._pos = pos + 1
+            d *= 1.0 + (js.low + js.span * float(buf[pos]))
         return d

@@ -46,7 +46,7 @@ class Message:
     size: int
     sent_at: float
     reliable: bool = False
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    msg_id: int = field(default_factory=_msg_ids.__next__)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Message #{self.msg_id} {self.src}->{self.dst} {self.size}B>"
@@ -187,20 +187,25 @@ class Network:
         path re-checks eligibility at fire time and falls back to the
         object pipeline whenever a hook appeared in flight.
         """
-        tr = self.sim.tracer
-        src_host = self.host(src.host)
+        sim = self.sim
+        tr = sim.tracer
+        # inlined self.host(): send() runs per message, and the extra
+        # method call is measurable at swarm scale
+        src_host = self.hosts.get(src.host)
+        if src_host is None:
+            raise NetworkError(f"unknown host {src.host!r}") from None
         if not src_host.online:
             # A dead host cannot transmit: drop at the source.
-            msg = Message(src, dst, payload, size or 0, self.sim.now, reliable)
+            msg = Message(src, dst, payload, size or 0, sim.now, reliable)
             self.dropped_dead += 1
             if tr.enabled:
-                tr.emit(self.sim.now, "net", "fabric", "drop",
+                tr.emit(sim.now, "net", "fabric", "drop",
                         msg_id=msg.msg_id, src=str(src), dst=str(dst),
                         reason="src_dead")
             return msg
         if size is None:
             size = measured_size(payload)
-        msg = Message(src, dst, payload, int(size), self.sim.now, reliable)
+        msg = Message(src, dst, payload, int(size), sim.now, reliable)
         self.sent += 1
         self.bytes_sent += msg.size
         if tr.enabled:
@@ -236,9 +241,9 @@ class Network:
             and self.corruptor is None
             and not tr.enabled
         ):
-            self.sim._call_later_pooled(delay, self._deliver_fast, (msg,))
+            sim._call_later_pooled(delay, self._deliver_fast, (msg,))
         else:
-            self.sim._call_later_pooled(delay, self._deliver, (msg,))
+            sim._call_later_pooled(delay, self._deliver, (msg,))
         return msg
 
     def _deliver_fast(self, msg: Message) -> None:
@@ -256,7 +261,11 @@ class Network:
             self._deliver(msg)
             return
         self.in_flight -= 1
-        if not self.reachable(msg.src.host, msg.dst.host):
+        # inlined self.reachable(): one method call per delivery adds up,
+        # and the common case is no partition at all
+        part = self._partition
+        if (part is not None
+                and part.get(msg.src.host, -1) != part.get(msg.dst.host, -1)):
             self.dropped_partition += 1
             return
         dst_host = self.hosts.get(msg.dst.host)

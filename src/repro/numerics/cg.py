@@ -27,6 +27,11 @@ bitwise comparisons.
 
 from __future__ import annotations
 
+import sys
+# IEEE 754 requires correctly-rounded sqrt, so math.sqrt and np.sqrt agree
+# bitwise on binary64 — and the math version skips the ufunc dispatch that
+# dominates scalar-sqrt cost in the per-iteration residual check
+from math import sqrt as _sqrt
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -207,6 +212,16 @@ class CgOperator:
         self._inv_diag: np.ndarray | None = None
         self._lu = None
         self._lu_nnz = 0
+        #: prebound CSR kernel arguments: :meth:`solve` runs one matvec per
+        #: iteration on a small block, where re-fetching ``A.indptr`` etc.
+        #: through the wrapper costs as much as the multiply itself
+        self._mv = (
+            None if _csr_matvec is None
+            else (A.shape[0], A.shape[1], A.indptr, A.indices, A.data)
+        )
+        #: recycled solution buffers for ``x0 is None`` solves (see
+        #: :meth:`_fresh_x`); bounded so escaped buffers cannot pile up
+        self._x_pool: list[np.ndarray] = []
 
     # -- cached pieces -------------------------------------------------------
 
@@ -232,6 +247,29 @@ class CgOperator:
         """``out = A @ x`` into a caller buffer (bitwise-identical)."""
         return csr_matvec_into(self.A, x, out)
 
+    _X_POOL_MAX = 4
+
+    def _fresh_x(self) -> np.ndarray:
+        """A zeroed solution buffer, recycled across solves when safe.
+
+        Callers retain the returned ``x`` (it becomes ``CgResult.x``, the
+        task's live state, possibly the base of in-flight zero-copy
+        payload views), so a slot is reused only when *nothing* outside
+        the pool still references it — checked by refcount, which makes
+        recycling invisible: a free slot refilled with ``fill(0.0)`` is
+        bit-for-bit the ``np.zeros`` it replaces.
+        """
+        pool = self._x_pool
+        for slot in pool:
+            # refs: pool list + loop binding + getrefcount argument
+            if sys.getrefcount(slot) == 3 and slot.flags.writeable:
+                slot.fill(0.0)
+                return slot
+        x = np.zeros(self.n)
+        if len(pool) < self._X_POOL_MAX:
+            pool.append(x)
+        return x
+
     # -- solves --------------------------------------------------------------
 
     def solve(
@@ -251,19 +289,30 @@ class CgOperator:
         if max_iter is None:
             max_iter = max(10 * n, 100)
 
-        x = np.zeros(n) if x0 is None else np.array(x0, dtype=float, copy=True)
+        x = self._fresh_x() if x0 is None else np.array(x0, dtype=float, copy=True)
         if x.shape != (n,):
             raise ValueError("x0 shape mismatch")
 
-        b_norm = float(np.sqrt(b.dot(b)))
+        b_norm = _sqrt(b.dot(b))
         stop = tol * b_norm if b_norm > 0 else tol
 
         r, p, Ap, tmp = self._r, self._p, self._Ap, self._tmp
+        # inlined csr_matvec_into (bitwise-identical: same zero fill, same
+        # C kernel) — the wrapper's per-call attribute walk is measurable
+        # at swarm scale, where blocks are ~100 rows and solves number 10^5
+        mv = self._mv
+        if mv is not None:
+            mv_rows, mv_cols, mv_indptr, mv_indices, mv_data = mv
         if x0 is None:
             # r = b - A @ 0: elementwise b[i] - 0.0 == b[i] bitwise.
             np.copyto(r, b)
         else:
-            self.matvec(x, Ap)
+            if mv is not None:
+                Ap.fill(0.0)
+                _csr_matvec(mv_rows, mv_cols, mv_indptr, mv_indices,
+                            mv_data, x, Ap)
+            else:  # pragma: no cover - scipy layout change
+                self.matvec(x, Ap)
             np.subtract(b, Ap, out=r)
 
         precond = jacobi_precondition
@@ -274,17 +323,22 @@ class CgOperator:
             z = self._z
             np.multiply(inv_d, r, out=z)
             rz = float(r.dot(z))
-            res = float(np.sqrt(r.dot(r)))
+            res = _sqrt(r.dot(r))
         else:
             z = r  # the identity preconditioner aliases z to r
             rz = float(r.dot(r))
-            res = float(np.sqrt(rz))
+            res = _sqrt(rz)
         np.copyto(p, z)
         history = [res] if keep_history else []
 
         it = 0
         while res > stop and it < max_iter:
-            self.matvec(p, Ap)
+            if mv is not None:
+                Ap.fill(0.0)
+                _csr_matvec(mv_rows, mv_cols, mv_indptr, mv_indices,
+                            mv_data, p, Ap)
+            else:  # pragma: no cover - scipy layout change
+                self.matvec(p, Ap)
             pAp = float(p.dot(Ap))
             if pAp <= 0.0:
                 if raise_on_fail:
@@ -297,12 +351,12 @@ class CgOperator:
             np.multiply(Ap, alpha, out=tmp)
             np.subtract(r, tmp, out=r)
             if precond:
-                res = float(np.sqrt(r.dot(r)))
+                res = _sqrt(r.dot(r))
                 np.multiply(inv_d, r, out=z)
                 rz_new = float(r.dot(z))
             else:
                 rz_new = float(r.dot(r))
-                res = float(np.sqrt(rz_new))
+                res = _sqrt(rz_new)
             if keep_history:
                 history.append(res)
             beta = rz_new / rz if rz > 0 else 0.0
@@ -338,11 +392,20 @@ class CgOperator:
         """
         lu = self.factorization()
         x = lu.solve(b)
+        return self.direct_result(x, b, tol)
+
+    def direct_result(self, x: np.ndarray, b: np.ndarray,
+                      tol: float) -> CgResult:
+        """Package a direct-solve solution ``x`` of ``A x = b`` as a
+        :class:`CgResult` with the same convergence diagnostics and flop
+        charge :meth:`solve_direct` produces — shared with the batched
+        multi-RHS path of :mod:`repro.compute` so both report identically.
+        """
         # honest convergence diagnostics: one extra (uncharged) matvec
         self.matvec(x, self._Ap)
         np.subtract(b, self._Ap, out=self._r)
-        res = float(np.sqrt(self._r.dot(self._r)))
-        b_norm = float(np.sqrt(b.dot(b)))
+        res = _sqrt(self._r.dot(self._r))
+        b_norm = _sqrt(b.dot(b))
         stop = tol * b_norm if b_norm > 0 else tol
         return CgResult(
             x=x,
@@ -352,6 +415,13 @@ class CgOperator:
             flops=direct_flops_estimate(self._lu_nnz, self.n),
             residual_history=[],
         )
+
+    @property
+    def lu_nnz(self) -> int:
+        """Stored LU entries (factorizing on first use) — the direct
+        path's analytic flop basis, known *before* a solve runs."""
+        self.factorization()
+        return self._lu_nnz
 
 
 def block_operator(blk) -> CgOperator:

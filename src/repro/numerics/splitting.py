@@ -71,6 +71,11 @@ class BlockInfo:
     #: map neighbour block index -> *local* indices of the same components
     #: (``send_map[nb] - ext_start``, precomputed once)
     send_local: dict[int, np.ndarray] = field(default_factory=dict)
+    #: neighbours whose send indices form one contiguous local run, as
+    #: ``slice(start, stop)`` — for strip decompositions that is every
+    #: neighbour (a whole grid line), which is what makes the zero-copy
+    #: boundary payloads of :meth:`values_to_send_view` possible
+    send_slices: dict[int, slice] = field(default_factory=dict)
     #: scratch slot for per-matrix solver state (e.g. the cached
     #: :class:`~repro.numerics.cg.CgOperator`); keyed by consumer name.
     #: Excluded from equality: it is a cache, not part of the decomposition.
@@ -95,6 +100,42 @@ class BlockInfo:
         if idx is None:
             idx = self.send_map[neighbour] - self.ext_start
         return x_local[idx]
+
+    def values_to_send_view(self, x_local: np.ndarray, neighbour: int) -> np.ndarray:
+        """Zero-copy variant: a frozen (read-only) view when the send
+        indices are one contiguous run, else the copying fallback.
+
+        Value-identical to :meth:`values_to_send`; the returned array is
+        marked non-writeable so a receiver mutating a boundary payload in
+        place fails loudly instead of corrupting the sender's state.
+        """
+        sl = self.send_slices.get(neighbour)
+        if sl is None:
+            return self.values_to_send(x_local, neighbour)
+        v = x_local[sl]
+        v.flags.writeable = False
+        return v
+
+    def outgoing_payloads(self, x_local: np.ndarray) -> dict[int, np.ndarray]:
+        """One boundary payload per neighbour — frozen zero-copy views
+        under :data:`HOTPATH.zerocopy`, copying otherwise.
+
+        Safe for every task in :mod:`repro.apps`: they *rebind* their
+        solution vector each iteration (never mutate it in place), so an
+        in-flight view keeps showing the values it was sent with.
+        """
+        if HOTPATH.zerocopy:
+            return {nb: self.values_to_send_view(x_local, nb)
+                    for nb in self.send_map}
+        return {nb: self.values_to_send(x_local, nb) for nb in self.send_map}
+
+    def _index_slices(self) -> None:
+        """Precompute :attr:`send_slices` from :attr:`send_local`."""
+        for nb, idx in self.send_local.items():
+            if idx.size and idx[-1] - idx[0] == idx.size - 1 and (
+                idx.size < 2 or bool((np.diff(idx) == 1).all())
+            ):
+                self.send_slices[nb] = slice(int(idx[0]), int(idx[-1]) + 1)
 
 
 class BlockDecomposition:
@@ -207,6 +248,8 @@ class BlockDecomposition:
                 src_blk = self.blocks[int(src)]
                 src_blk.send_map[blk.index] = needed_globals
                 src_blk.send_local[blk.index] = needed_globals - src_blk.ext_start
+        for blk in self.blocks:
+            blk._index_slices()
 
     # -- global assembly helpers ---------------------------------------------
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 import cProfile
 import pstats
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable
 
 __all__ = ["LAYERS", "ProfileReport", "profile_callable", "layer_of"]
@@ -121,6 +122,23 @@ class ProfileReport:
         return "\n".join(lines)
 
 
+#: repository root (this file lives at src/repro/obs/profile.py)
+_REPO_ROOT = str(Path(__file__).resolve().parents[3])
+
+
+def _repo_relative(filename: str) -> str:
+    """Strip the machine-specific repo prefix from a profile frame path.
+
+    Committed baselines (``BENCH_swarm.json``'s ``profile_top``) embed
+    these paths; repo-relative forms diff cleanly across checkouts.
+    Frames outside the repo (stdlib, site-packages, ``<built-in>``) pass
+    through unchanged.
+    """
+    if filename.startswith(_REPO_ROOT + "/"):
+        return filename[len(_REPO_ROOT) + 1:]
+    return filename
+
+
 def _fold(stats: pstats.Stats, top_n: int) -> ProfileReport:
     total_tt = 0.0
     total_calls = 0
@@ -138,7 +156,7 @@ def _fold(stats: pstats.Stats, top_n: int) -> ProfileReport:
     top = [
         {
             "function": funcname,
-            "file": filename,
+            "file": _repo_relative(filename),
             "line": line,
             "ncalls": nc,
             "tottime_s": round(tt, 6),

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.compute import ComputePlane
 from repro.errors import ConfigurationError, FaultError
 from repro.des import Simulator, TimerWheel
 from repro.gossip import GossipAgent
@@ -78,6 +79,9 @@ class Cluster:
     stable_store: object | None = None
     #: the warm-standby Spawner, when ``config.standby_enabled``
     standby: StandbySpawner | None = None
+    #: cluster-wide batched compute plane (wall-clock only, never DES):
+    #: every Daemon incarnation routes plane-capable inner solves here
+    compute: ComputePlane = field(default_factory=ComputePlane)
 
     @property
     def network(self):
@@ -138,6 +142,7 @@ class Cluster:
             log=self.log,
             telemetry=self.telemetry,
             wheel=self.wheel,
+            compute=self.compute,
         )
         self.daemons[host.name] = daemon
         return daemon

@@ -40,7 +40,8 @@ from repro.rmi import RemoteObject, RmiRuntime, Stub, remote
 from repro.rmi.invocation import CallMessage, OnewayMessage
 from repro.util.hotpath import HOTPATH
 from repro.util.logging import EventLog
-from repro.util.serialization import measured_size
+from repro.util.serialization import (NDARRAY_HEADER_BYTES, measured_size,
+                                      memoized_payload_size)
 from repro.util.rng import RngTree
 
 __all__ = ["Daemon", "TaskRunner", "DAEMON_OBJECT"]
@@ -105,6 +106,21 @@ class TaskRunner:
         #: the per-iteration size walk collapses to one addition.  Keyed
         #: by neighbour; invalidated when its stub is reassigned (churn).
         self._envelope_sizes: dict[int, tuple[Stub, int]] = {}
+        #: memoized computing-heartbeat envelope size (constant per Spawner
+        #: stub: fixed strings plus 8-byte scalars; see :meth:`heartbeat_size`)
+        self._hb_sized: tuple[Stub, int] | None = None
+        #: memoized checkpoint-envelope base per guardian task: the
+        #: ``store_backup`` oneway is a fixed shell around one primed
+        #: Backup, so later sends charge base + the Backup's own memo.
+        #: Keyed by guardian; invalidated when its stub is reassigned.
+        self._backup_sizes: dict[int, tuple[Stub, int]] = {}
+        #: compute-plane seat (lazily registered on the first StepPlan)
+        self._plane_member = None
+        self._member_op = None
+        #: a plan whose solve is parked with the cohort while the iteration
+        #: timeout sleeps, and the finished step once it materialized
+        self._pending_plan = None
+        self._finished_step = None
 
     # -- runtime hooks (called by the Daemon's remote methods) ----------------
 
@@ -137,16 +153,52 @@ class TaskRunner:
                 self.iteration = 0
 
             host = self.daemon.host
+            rate = host.speed * BASE_FLOPS
+            config = self.config
             while not self.halted:
                 inbox, self.inbox = self.inbox, {}
                 fresh = bool(inbox)
-                step = self.task.iterate(inbox)
-                duration = max(
-                    step.flops / (host.speed * BASE_FLOPS)
-                    + self.config.iteration_overhead,
-                    self.config.min_iteration_time,
-                )
+                step = None
+                plane = self.daemon.compute
+                plan = (self.task.begin_step(inbox)
+                        if plane is not None and HOTPATH.compute_batch
+                        else None)
+                if plan is None:
+                    step = self.task.iterate(inbox)
+                    duration = max(
+                        step.flops / rate + config.iteration_overhead,
+                        config.min_iteration_time,
+                    )
+                else:
+                    member = self._plane_member
+                    if member is None or self._member_op is not plan.operator:
+                        if member is not None:
+                            plane.discard(member)
+                        member = plane.member_for(plan.operator)
+                        self._plane_member = member
+                        self._member_op = plan.operator
+                    duration, result = plane.begin(
+                        member, plan, rate=rate,
+                        overhead=config.iteration_overhead,
+                        floor=config.min_iteration_time,
+                    )
+                    if result is not None:
+                        step = self.task.finish_step(plan, result)
+                        duration = max(
+                            step.flops / rate + config.iteration_overhead,
+                            config.min_iteration_time,
+                        )
+                    else:
+                        # the solve is parked with the cohort; the plane
+                        # guarantees `duration` matches what the eager path
+                        # would have charged, so the DES timeline is identical
+                        self._pending_plan = plan
                 yield self.sim.timeout(duration)
+                if step is None:
+                    # materialize the deferred solve (halt/fetch_solution
+                    # may already have flushed it mid-sleep)
+                    self.flush_pending()
+                    step, self._finished_step = self._finished_step, None
                 if self.halted:
                     break
                 self.iteration += 1
@@ -162,6 +214,44 @@ class TaskRunner:
                 self._report_convergence(step.local_distance)
         finally:
             self.daemon._runner_finished(self)
+
+    def flush_pending(self) -> None:
+        """Materialize a deferred inner solve (idempotent).
+
+        Called by the runner itself on wake, and by any out-of-band
+        observer of task state — ``halt`` and ``fetch_solution`` can
+        arrive while the iteration timeout is still sleeping, *before* the
+        parked solve has run.  Flushing applies exactly the state update
+        the eager path would already have applied at the iteration's
+        start, so observers see identical values either way."""
+        plan = self._pending_plan
+        if plan is None:
+            return
+        self._pending_plan = None
+        result = self.daemon.compute.collect(self._plane_member)
+        self._finished_step = self.task.finish_step(plan, result)
+
+    def heartbeat_size(self) -> int | None:
+        """Memoized size of the computing-heartbeat envelope.
+
+        Constant per Spawner stub: the payload is two fixed strings plus
+        scalars, and scalars charge 8 bytes whatever their value — so the
+        per-beat size walk collapses to a tuple load."""
+        if not HOTPATH.size_memo:
+            return None
+        sized = self._hb_sized
+        stub = self.spawner_stub
+        if sized is None or sized[0] is not stub:
+            probe = OnewayMessage(
+                stub.object_name, "heartbeat_task",
+                (self.app_id, self.task_id, self.epoch,
+                 self.daemon.daemon_id, self.detector.stable,
+                 self.register.version),
+                {},
+            )
+            sized = (stub, measured_size(probe))
+            self._hb_sized = sized
+        return sized[1]
 
     # -- recovery (§5.4, Fig. 6) --------------------------------------------------
 
@@ -233,7 +323,8 @@ class TaskRunner:
             if HOTPATH.size_memo and payload.__class__ is np.ndarray:
                 cached = sizes.get(dst_task)
                 if cached is not None and cached[0] is stub:
-                    size = cached[1] + int(payload.nbytes) + 96
+                    size = (cached[1] + int(payload.nbytes)
+                            + NDARRAY_HEADER_BYTES)
                 else:
                     probe = OnewayMessage(
                         stub.object_name, "receive_data",
@@ -242,7 +333,8 @@ class TaskRunner:
                         {},
                     )
                     size = measured_size(probe)
-                    sizes[dst_task] = (stub, size - int(payload.nbytes) - 96)
+                    sizes[dst_task] = (stub, size - int(payload.nbytes)
+                                       - NDARRAY_HEADER_BYTES)
             runtime.oneway(
                 stub, "receive_data",
                 self.app_id, dst_task, self.task_id, self.iteration, payload,
@@ -268,7 +360,25 @@ class TaskRunner:
             app_id=self.app_id,
             created_at=self.sim.now,
         )
-        self.daemon.runtime.oneway(stub, "store_backup", backup)
+        # The envelope around a Backup is a fixed shell (two method/object
+        # strings, the args tuple, an empty kwargs dict); the Backup itself
+        # is primed at construction.  Measure the shell once per guardian
+        # stub and derive later sizes as base + the Backup's own memo —
+        # byte-identical to the full walk ``network.send`` would run.
+        size = None
+        if HOTPATH.size_memo:
+            bsize = memoized_payload_size(backup)
+            if bsize is not None:
+                cached = self._backup_sizes.get(target_task)
+                if cached is not None and cached[0] is stub:
+                    size = cached[1] + bsize
+                else:
+                    probe = OnewayMessage(
+                        stub.object_name, "store_backup", (backup,), {},
+                    )
+                    size = measured_size(probe)
+                    self._backup_sizes[target_task] = (stub, size - bsize)
+        self.daemon.runtime.oneway(stub, "store_backup", backup, size=size)
         self.daemon._trace("checkpoint_store", task=self.task_id,
                            iteration=self.iteration, guardian=target_task)
         if self.telemetry is not None:
@@ -311,6 +421,7 @@ class Daemon(RemoteObject):
         log: EventLog | None = None,
         telemetry: RunTelemetry | None = None,
         wheel: TimerWheel | None = None,
+        compute=None,
     ):
         if not superpeer_addresses:
             raise ConfigurationError("a Daemon needs at least one Super-Peer address")
@@ -320,6 +431,9 @@ class Daemon(RemoteObject):
         self.daemon_id = daemon_id
         self.superpeer_addresses = list(superpeer_addresses)
         self.config = config
+        #: cluster-wide :class:`repro.compute.ComputePlane` (or None): the
+        #: wall-clock batching fabric task runners route inner solves through
+        self.compute = compute
         self.rng = rng
         self.log = log
         self.telemetry = telemetry
@@ -394,6 +508,7 @@ class Daemon(RemoteObject):
                     self.runner.epoch, self.daemon_id,
                     self.runner.detector.stable,
                     self.runner.register.version,
+                    size=self.runner.heartbeat_size(),
                 )
                 yield self.sim.timeout(self.config.heartbeat_period)
                 continue
@@ -500,6 +615,7 @@ class Daemon(RemoteObject):
                 self.runner.epoch, self.daemon_id,
                 self.runner.detector.stable,
                 self.runner.register.version,
+                size=self.runner.heartbeat_size(),
             )
             return None
         if not self.registered:
@@ -788,6 +904,8 @@ class Daemon(RemoteObject):
     def halt(self, app_id: str) -> bool:
         """Stop computing (global convergence reached, §5.5)."""
         if self.runner is not None and self.runner.app_id == app_id:
+            # a deferred inner solve must land before the state is read
+            self.runner.flush_pending()
             # keep the converged fragment so it can still be collected
             # after the runner has wound down
             self.final_fragments[app_id] = self.runner.task.solution_fragment()
@@ -799,6 +917,7 @@ class Daemon(RemoteObject):
     def fetch_solution(self, app_id: str) -> Any:
         """The owned fragment of the solution (collected by the harness)."""
         if self.runner is not None and self.runner.app_id == app_id:
+            self.runner.flush_pending()
             return self.runner.task.solution_fragment()
         return self.final_fragments.get(app_id)
 
@@ -809,6 +928,12 @@ class Daemon(RemoteObject):
     # -- internals ---------------------------------------------------------------
 
     def _runner_finished(self, runner: TaskRunner) -> None:
+        if runner._plane_member is not None and self.compute is not None:
+            # a crash mid-defer abandons the ticket: the result was lost
+            # with the host either way, and cohort siblings are unaffected
+            self.compute.discard(runner._plane_member)
+            runner._plane_member = None
+            runner._member_op = None
         if self.runner is runner:
             self.runner = None
             self._runner_proc = None

@@ -25,7 +25,7 @@ from typing import Any
 
 from repro.errors import ConfigurationError, TaskError
 
-__all__ = ["TaskContext", "IterationStep", "Task"]
+__all__ = ["TaskContext", "IterationStep", "StepPlan", "Task"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,35 @@ class IterationStep:
             raise ConfigurationError("local_distance must be >= 0")
 
 
+@dataclass(slots=True)
+class StepPlan:
+    """A split iteration: everything known *before* the inner solve runs.
+
+    Tasks that support the batched compute plane factor :meth:`Task.iterate`
+    into :meth:`Task.begin_step` (inbox fold, rhs assembly — returns a plan)
+    and :meth:`Task.finish_step` (state update, outgoing payloads — consumes
+    the plan plus the solve's result).  The plane executes the solve in
+    between, possibly deferred in wall-clock and batched with cohort
+    siblings; the DES-visible step is identical either way.
+    """
+
+    #: ``"direct"`` (LU-backed, analytically costed, deferrable) or
+    #: ``"cg"`` (iteration count — hence flops — known only after solving)
+    solver: str
+    #: the task's :class:`~repro.numerics.cg.CgOperator`
+    operator: Any
+    #: right-hand side of the inner solve (owned by the task until the
+    #: runner's next resume — the plane never outlives that window)
+    rhs: Any
+    x0: Any = None
+    tol: float = 1e-10
+    max_iter: int | None = None
+    #: total iteration flops when analytically known ("direct"), else 0.0
+    flops: float = 0.0
+    #: flops charged on top of the solve's own count ("cg" assembly terms)
+    flops_extra: float = 0.0
+
+
 class Task:
     """Base class for SPMD applications.  Subclass and override the hooks."""
 
@@ -96,6 +125,22 @@ class Task:
         iterate; whether that progresses is the paper's "useless
         iteration" phenomenon).
         """
+        raise NotImplementedError
+
+    def begin_step(self, inbox: dict[int, Any]) -> "StepPlan | None":
+        """Optional compute-plane hook: the pre-solve half of an iteration.
+
+        Fold ``inbox``, assemble the inner system, and return a
+        :class:`StepPlan` — or ``None`` to run the monolithic
+        :meth:`iterate` instead (the default).  A task returning a plan
+        MUST accept :meth:`finish_step` with the solve result later;
+        between the two calls the task must not mutate anything the plan
+        references.
+        """
+        return None
+
+    def finish_step(self, plan: "StepPlan", result: Any) -> IterationStep:
+        """Consume an inner-solve result for a plan from :meth:`begin_step`."""
         raise NotImplementedError
 
     # -- results ---------------------------------------------------------------

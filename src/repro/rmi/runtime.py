@@ -175,8 +175,8 @@ class RmiRuntime:
             tr.emit(self.sim.now, "rmi", self.name, "oneway",
                     object=stub.object_name, method=method, dst=str(stub.address))
         msg = OnewayMessage(stub.object_name, method, args, kwargs)
-        self.network.send(self.address, stub.address, msg, size=size,
-                          reliable=reliable, fast=HOTPATH.oneway_fastpath)
+        self.network.send(self.address, stub.address, msg, size,
+                          reliable, HOTPATH.oneway_fastpath)
 
     def prepare_oneway(
         self, stub: Stub, method: str, *args: Any, **kwargs: Any
@@ -202,8 +202,7 @@ class RmiRuntime:
                     object=msg.object_name, method=msg.method,
                     dst=str(prepared.stub.address))
         self.network.send(self.address, prepared.stub.address, prepared.msg,
-                          size=prepared.size, reliable=reliable,
-                          fast=HOTPATH.oneway_fastpath)
+                          prepared.size, reliable, HOTPATH.oneway_fastpath)
 
     def _watchdog(self, call_id: int, result: Event, timeout: float):
         yield self.sim.timeout(timeout)

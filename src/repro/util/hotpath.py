@@ -40,12 +40,35 @@ class HotpathFlags:
     #: dispatches straight into the destination runtime — skipping the
     #: mailbox store and the dispatcher process resume entirely
     oneway_fastpath: bool = True
+    #: route inner solves through the :class:`repro.compute.ComputePlane`:
+    #: cohort registration, wall-clock-deferred direct solves flushed as
+    #: one multi-RHS call, and per-cohort preallocated work pools.  The
+    #: DES event flow (durations, send times, rng draws) is unchanged —
+    #: only *when in wall-clock* the arithmetic runs.
+    compute_batch: bool = True
+    #: additionally allow *CG* solves to defer into lock-step batched
+    #: cohort solves — only ever taken when the iteration duration is
+    #: provably pinned to the ``min_iteration_time`` floor (duration
+    #: independent of the iteration count), so simulated time cannot move
+    compute_batch_cg: bool = True
+    #: per-member memo of the last inner solve: identical (rhs, x0, tol,
+    #: max_iter) requests — the "useless iteration" pattern, no fresh
+    #: neighbour data — replay the previous result instead of re-solving
+    solve_memo: bool = True
+    #: zero-copy data plane: boundary payloads leave as frozen
+    #: (``writeable=False``) views and checkpoint Backups freeze their
+    #: snapshot instead of eagerly deep-copying it (clone-on-restore)
+    zerocopy: bool = True
 
     def set_all(self, enabled: bool) -> None:
         self.decomposition_cache = enabled
         self.operator_cache = enabled
         self.size_memo = enabled
         self.oneway_fastpath = enabled
+        self.compute_batch = enabled
+        self.compute_batch_cg = enabled
+        self.solve_memo = enabled
+        self.zerocopy = enabled
 
 
 #: The process-wide switch block.  Library code reads attributes at call
@@ -77,12 +100,16 @@ def hotpath_disabled():
     cold too — keeping A/B comparisons symmetric.
     """
     saved = (HOTPATH.decomposition_cache, HOTPATH.operator_cache,
-             HOTPATH.size_memo, HOTPATH.oneway_fastpath)
+             HOTPATH.size_memo, HOTPATH.oneway_fastpath,
+             HOTPATH.compute_batch, HOTPATH.compute_batch_cg,
+             HOTPATH.solve_memo, HOTPATH.zerocopy)
     HOTPATH.set_all(False)
     clear_caches()
     try:
         yield HOTPATH
     finally:
         (HOTPATH.decomposition_cache, HOTPATH.operator_cache,
-         HOTPATH.size_memo, HOTPATH.oneway_fastpath) = saved
+         HOTPATH.size_memo, HOTPATH.oneway_fastpath,
+         HOTPATH.compute_batch, HOTPATH.compute_batch_cg,
+         HOTPATH.solve_memo, HOTPATH.zerocopy) = saved
         clear_caches()

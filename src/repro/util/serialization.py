@@ -32,11 +32,20 @@ import numpy as np
 
 from repro.util.hotpath import HOTPATH, register_cache
 
-__all__ = ["measured_size", "clone_state", "prime_payload_cache"]
+__all__ = ["measured_size", "clone_state", "prime_payload_cache",
+           "memoized_payload_size", "NDARRAY_HEADER_BYTES", "freeze_state",
+           "frozen_view"]
 
 # Fixed protocol overhead charged per message, in bytes.  Roughly a TCP/IP +
 # RMI envelope; the exact constant only shifts latency curves uniformly.
 ENVELOPE_BYTES = 256
+
+#: Per-ndarray marshalling overhead charged on top of ``nbytes`` (dtype
+#: descriptor + shape/stride header, roughly what a real pickle frame
+#: costs).  Senders that derive envelope sizes incrementally (e.g. the
+#: boundary-exchange memo in :mod:`repro.p2p.daemon`) must add exactly
+#: this constant per array — a drift test pins it to the measured charge.
+NDARRAY_HEADER_BYTES = 96
 
 #: instance attribute holding a frozen dataclass's memoized payload size
 _SIZE_ATTR = "_measured_payload_cache"
@@ -70,7 +79,7 @@ def _payload_size(obj: Any, depth: int) -> int:
     if obj is None:
         return 1
     if isinstance(obj, np.ndarray):
-        return int(obj.nbytes) + 96  # header
+        return int(obj.nbytes) + NDARRAY_HEADER_BYTES
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)
     if isinstance(obj, str):
@@ -126,22 +135,32 @@ def _payload_size_fast(obj: Any, depth: int) -> int:
     if cls is float or cls is int or cls is bool:
         return 8
     if cls is str:
+        # UTF-8 length of an ASCII string is its length: skip the encode
+        # (and its allocation) for the overwhelmingly common case
+        if obj.isascii():
+            return len(obj)
         return len(obj.encode("utf-8", errors="replace"))
     if cls is np.ndarray:
-        return int(obj.nbytes) + 96
+        return int(obj.nbytes) + NDARRAY_HEADER_BYTES
+    # container walks accumulate in plain loops: a genexpr-under-sum costs
+    # a generator object + one frame resume per element, which dominates
+    # the walk for the small envelopes the message plane measures
     if cls is list or cls is tuple or cls is set or cls is frozenset:
         if depth > 6:
             return _pickle_size(obj)
         d = depth + 1
-        return 16 + sum(_payload_size_fast(x, d) for x in obj)
+        size = 16
+        for x in obj:
+            size += _payload_size_fast(x, d)
+        return size
     if cls is dict:
         if depth > 6:
             return _pickle_size(obj)
         d = depth + 1
-        return 16 + sum(
-            _payload_size_fast(k, d) + _payload_size_fast(v, d)
-            for k, v in obj.items()
-        )
+        size = 16
+        for k, v in obj.items():
+            size += _payload_size_fast(k, d) + _payload_size_fast(v, d)
+        return size
     names = _fields_by_class.get(cls)
     if names is None:
         names = _register_dataclass(cls)
@@ -153,9 +172,9 @@ def _payload_size_fast(obj: Any, depth: int) -> int:
                 if cached is not None:
                     return cached
             d = depth + 1
-            size = 32 + sum(
-                _payload_size_fast(getattr(obj, nm), d) for nm in names
-            )
+            size = 32
+            for nm in names:
+                size += _payload_size_fast(getattr(obj, nm), d)
             if memoizable:
                 try:
                     object.__setattr__(obj, _SIZE_ATTR, size)
@@ -163,7 +182,10 @@ def _payload_size_fast(obj: Any, depth: int) -> int:
                     _unmemoizable.add(cls)
             return size
         d = depth + 1
-        return 32 + sum(_payload_size_fast(getattr(obj, nm), d) for nm in names)
+        size = 32
+        for nm in names:
+            size += _payload_size_fast(getattr(obj, nm), d)
+        return size
     # Rare/odd types (numpy scalars, subclasses, nbytes-carriers, pickle
     # fallback): defer to the reference cascade for identical charges.
     return _payload_size(obj, depth)
@@ -180,11 +202,59 @@ def prime_payload_cache(obj: Any) -> None:
         _payload_size_fast(obj, 0)
 
 
+def memoized_payload_size(obj: Any) -> int | None:
+    """The per-instance payload size planted by :func:`prime_payload_cache`.
+
+    Senders that derive envelope sizes incrementally (base + nested payload)
+    read the nested object's charge through this instead of re-walking it.
+    ``None`` when no memo is planted (fast path off, or the object is not a
+    primed frozen dataclass) — callers must then fall back to a full
+    measurement.
+    """
+    return getattr(obj, _SIZE_ATTR, None)
+
+
 def _pickle_size(obj: Any) -> int:
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:
         return 1024  # unpicklable odd object: charge a flat size
+
+
+def freeze_state(state: Any) -> Any:
+    """Mark every ndarray inside ``state`` read-only, in place.
+
+    The zero-copy checkpoint path (:class:`repro.checkpoint.Backup` with
+    ``HOTPATH.zerocopy``) freezes the snapshot it was handed instead of
+    deep-copying it: ``dump_state`` already produced a private copy, so
+    freezing turns accidental aliasing into a loud ``ValueError`` rather
+    than paying a second full copy per checkpoint.  Returns ``state``.
+    """
+    if isinstance(state, np.ndarray):
+        state.flags.writeable = False
+        return state
+    if isinstance(state, dict):
+        for v in state.values():
+            freeze_state(v)
+        return state
+    if isinstance(state, (list, tuple)):
+        for v in state:
+            freeze_state(v)
+        return state
+    return state
+
+
+def frozen_view(a: np.ndarray) -> np.ndarray:
+    """A read-only view of ``a`` (no data copy).
+
+    The zero-copy boundary-exchange path ships these as message payloads:
+    receivers only ever *read* boundary values, and any code path that
+    tried to mutate one in place fails loudly instead of corrupting the
+    sender's state.
+    """
+    v = a[:]
+    v.flags.writeable = False
+    return v
 
 
 def clone_state(state: Any) -> Any:

@@ -6,19 +6,37 @@ import pytest
 from repro.checkpoint import Backup, BackupPolicy, BackupStore, choose_latest
 from repro.checkpoint.recovery import latest_iteration
 from repro.errors import NoBackupAvailableError
+from repro.util.hotpath import hotpath_disabled
 
 
 # --------------------------------------------------------------------- backup
 
 
 def test_backup_snapshot_is_isolated_from_live_state():
+    # Zero-copy path: the constructor takes ownership of the snapshot and
+    # freezes it — a caller mutating it afterwards fails loudly instead of
+    # silently corrupting the checkpoint.
     live = {"x": np.arange(4.0), "iteration": 3}
     b = Backup(task_id=1, iteration=3, state=live, app_id="app")
-    live["x"][0] = 777.0
+    with pytest.raises(ValueError):
+        live["x"][0] = 777.0
     assert b.state["x"][0] == 0.0
     restored = b.restore()
-    restored["x"][1] = -1.0
-    assert b.state["x"][1] == 1.0  # restore() hands out copies too
+    restored["x"][1] = -1.0  # restore() hands out writable copies
+    assert b.state["x"][1] == 1.0
+
+
+def test_backup_legacy_path_deep_copies():
+    # With zerocopy off, the original eager double copy isolates the
+    # snapshot without freezing the caller's arrays.
+    with hotpath_disabled():
+        live = {"x": np.arange(4.0)}
+        b = Backup(task_id=1, iteration=3, state=live, app_id="app")
+        live["x"][0] = 777.0  # still writable, and the Backup is immune
+        assert b.state["x"][0] == 0.0
+        restored = b.restore()
+        restored["x"][1] = -1.0
+        assert b.state["x"][1] == 1.0
 
 
 def test_backup_size_accounting_tracks_payload():
