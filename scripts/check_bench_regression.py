@@ -110,6 +110,14 @@ GATES: dict[str, tuple[Gate, ...]] = {
         Gate("overhead_fraction", False, 4.0, floor=0.05),
         Gate("takeover_latency_s", False, 0.5, floor=1.0),
     ),
+    # adaptive-vs-fixed checkpoint strategy sweep
+    # (benchmarks/bench_checkpoint_policy.py): simulated-time accounting,
+    # deterministic per seed, so the allowance is a drift pin; the floor
+    # is the issue's acceptance criterion — adaptive must cut wasted work
+    # across the churn scenarios by at least 20%
+    "BENCH_checkpoint.json": (
+        Gate("wasted_work_reduction", True, 0.5, floor=0.20),
+    ),
 }
 
 
@@ -130,6 +138,12 @@ REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "BENCH_compute.json": (
         "speedup", "bitwise_identical", "wall_seconds_plane",
         "wall_seconds_bypass", "batched_columns",
+    ),
+    # scenarios must carry the full per-scenario breakdown; a bench
+    # silently dropping an arm or the churn aggregate must fail here
+    "BENCH_checkpoint.json": (
+        "scenarios", "churn_scenarios", "fixed_wasted_seconds",
+        "adaptive_wasted_seconds",
     ),
 }
 

@@ -98,7 +98,7 @@ class HeatTask(Task):
                 continue
             values = np.asarray(payload, dtype=float)
             if values.shape == (positions.size,):
-                self.ext[positions] = values
+                self.ext[positions] = self.guard_payload(src_task, values)
 
         op = self._op
         if op is not None:

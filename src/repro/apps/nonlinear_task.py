@@ -122,7 +122,7 @@ class NonlinearPoissonTask(Task):
                 continue
             values = np.asarray(payload, dtype=float)
             if values.shape == (positions.size,):
-                self.ext[positions] = values
+                self.ext[positions] = self.guard_payload(src_task, values)
 
         if self.use_cache:
             if self.ext.size:

@@ -129,7 +129,7 @@ class PoissonTask(Task):
                 continue  # not one of our suppliers: drop
             values = np.asarray(payload, dtype=float)
             if values.shape == (positions.size,):
-                self.ext[positions] = values
+                self.ext[positions] = self.guard_payload(src_task, values)
 
     def iterate(self, inbox: dict[int, Any]) -> IterationStep:
         blk = self.blk
@@ -243,22 +243,29 @@ def make_poisson_app(
     inner_solver: str = "cg",
     convergence_threshold: float | None = None,
     stability_window: int | None = None,
+    reject_corruption: bool = False,
 ) -> AppSpec:
     """Convenience AppSpec builder for the Poisson application."""
+    params = {
+        "n": n,
+        "overlap": overlap,
+        "problem": problem,
+        "inner_tol": inner_tol,
+        "inner_max_iter": inner_max_iter,
+        "warm_start": warm_start,
+        "use_cache": use_cache,
+        "inner_solver": inner_solver,
+    }
+    if reject_corruption:
+        # only added when on: params ride inside every assign_task RMI
+        # message, and a new key would change measured envelope sizes (and
+        # with them the DES timeline) of runs that never asked for it
+        params["reject_corruption"] = True
     return AppSpec(
         app_id=app_id,
         task_factory=PoissonTask,
         num_tasks=num_tasks,
-        params={
-            "n": n,
-            "overlap": overlap,
-            "problem": problem,
-            "inner_tol": inner_tol,
-            "inner_max_iter": inner_max_iter,
-            "warm_start": warm_start,
-            "use_cache": use_cache,
-            "inner_solver": inner_solver,
-        },
+        params=params,
         convergence_threshold=convergence_threshold,
         stability_window=stability_window,
     )

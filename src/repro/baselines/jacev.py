@@ -38,6 +38,7 @@ def build_centralized_cluster(
     config: P2PConfig | None = None,
     homogeneous: bool = False,
     link_scale: float = 1.0,
+    checkpoint=None,
 ) -> Cluster:
     """Build a JaceV-style deployment: registry + Spawner on ONE machine.
 
@@ -61,7 +62,8 @@ def build_centralized_cluster(
         link_scale=link_scale,
     )
     log = EventLog()
-    cluster = Cluster(sim=sim, testbed=testbed, config=config, rng=rng, log=log)
+    cluster = Cluster(sim=sim, testbed=testbed, config=config, rng=rng, log=log,
+                  checkpoint=checkpoint)
 
     central_host = testbed.spawner_host
     server = SuperPeer(

@@ -17,7 +17,20 @@ computing.  The pieces:
 
 from repro.checkpoint.backup import Backup
 from repro.checkpoint.store import BackupStore
-from repro.checkpoint.policy import BackupPolicy
+from repro.checkpoint.policy import (AdaptivePolicy, BackupPolicy,
+                                     CheckpointPolicy, FixedPolicy,
+                                     policy_from_dict)
+from repro.checkpoint.feed import FailureFeed
 from repro.checkpoint.recovery import choose_latest
 
-__all__ = ["Backup", "BackupStore", "BackupPolicy", "choose_latest"]
+__all__ = [
+    "Backup",
+    "BackupStore",
+    "BackupPolicy",
+    "CheckpointPolicy",
+    "FixedPolicy",
+    "AdaptivePolicy",
+    "FailureFeed",
+    "policy_from_dict",
+    "choose_latest",
+]

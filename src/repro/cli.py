@@ -71,7 +71,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="do not read or write the on-disk run cache")
 
-    run = sub.add_parser("run", parents=[exec_flags],
+    # checkpoint-strategy flags shared by the run-shaped subcommands
+    policy_flags = argparse.ArgumentParser(add_help=False)
+    policy_flags.add_argument(
+        "--checkpoint-policy", choices=["fixed", "adaptive"], default=None,
+        help="checkpoint strategy (default: the paper's fixed policy)")
+    policy_flags.add_argument(
+        "--checkpoint-count", type=int, default=None, metavar="N",
+        help="backup-peer ring size (default 20, the paper's value)")
+    policy_flags.add_argument(
+        "--checkpoint-frequency", type=int, default=None, metavar="K",
+        help="checkpoint every K iterations (fixed; adaptive prior)")
+    policy_flags.add_argument(
+        "--max-replicas", type=int, default=None, metavar="R",
+        help="adaptive only: max checkpoint copies per save (default 3)")
+    policy_flags.add_argument(
+        "--max-frequency", type=int, default=None, metavar="K",
+        help="adaptive only: interval ceiling in iterations (default 40)")
+
+    run = sub.add_parser("run", parents=[exec_flags, policy_flags],
                          help="one Poisson execution on the P2P runtime")
     run.add_argument("--n", type=int, default=48, help="grid size (system is n^2)")
     run.add_argument("--peers", type=int, default=8)
@@ -82,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--csv", metavar="PATH", default=None,
                      help="also write the run as a CSV row")
 
-    fig7 = sub.add_parser("figure7", parents=[exec_flags],
+    fig7 = sub.add_parser("figure7", parents=[exec_flags, policy_flags],
                           help="the paper's Figure 7 sweep")
     fig7.add_argument("--quick", action="store_true",
                       help="2 sizes x 3 churn levels instead of 4 x 4")
@@ -91,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--csv", metavar="PATH", default=None,
                       help="also write the aggregated grid as CSV")
 
-    iters = sub.add_parser("iterations", parents=[exec_flags],
+    iters = sub.add_parser("iterations", parents=[exec_flags, policy_flags],
                            help="claims C1/C3: iteration counts vs n")
     iters.add_argument("--csv", metavar="PATH", default=None)
 
@@ -103,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--disconnections", type=int, default=3)
     timeline.add_argument("--seed", type=int, default=13)
 
-    sa = sub.add_parser("syncasync", parents=[exec_flags],
+    sa = sub.add_parser("syncasync", parents=[exec_flags, policy_flags],
                         help="claim C4: sync vs async under churn")
     sa.add_argument("--n", type=int, default=48)
     sa.add_argument("--disconnections", type=int, default=3)
@@ -122,7 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     fsub = faults.add_subparsers(dest="faults_command", required=True)
     fsub.add_parser("list", help="catalogue of named fault scenarios")
     frun = fsub.add_parser(
-        "run", parents=[exec_flags],
+        "run", parents=[exec_flags, policy_flags],
         help="run one scenario end-to-end and report what happened")
     frun.add_argument("scenario", nargs="?", default="perfect-storm",
                       choices=scenario_names(),
@@ -178,6 +196,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _policy_from(args):
+    """Build a CheckpointPolicy from the shared --checkpoint-* flags.
+
+    Returns None (the driver default) when no policy flag was given, so
+    the default path stays bit-identical to the historical runtime.
+    """
+    from repro.checkpoint import AdaptivePolicy, FixedPolicy
+
+    tuning = {
+        k: v for k, v in (
+            ("count", args.checkpoint_count),
+            ("frequency", args.checkpoint_frequency),
+        ) if v is not None
+    }
+    if args.checkpoint_policy == "adaptive":
+        if args.max_replicas is not None:
+            tuning["max_replicas"] = args.max_replicas
+        if args.max_frequency is not None:
+            tuning["max_frequency"] = args.max_frequency
+        return AdaptivePolicy(**tuning)
+    if args.checkpoint_policy == "fixed" or tuning:
+        return FixedPolicy(**tuning)
+    return None
+
+
 def _engine_from(args) -> SweepEngine:
     """A SweepEngine configured by the shared --workers/--cache-dir flags."""
     cache = None if args.no_cache else RunCache(args.cache_dir)
@@ -188,6 +231,7 @@ def _cmd_run(args) -> int:
     result = _engine_from(args).run(RunSpec(
         n=args.n, peers=args.peers, disconnections=args.disconnections,
         seed=args.seed, overlap=args.overlap, warm_start=args.warm_start,
+        checkpoint=_policy_from(args),
     ))
     row = result.row()
     print(format_table(list(row), [list(row.values())],
@@ -205,13 +249,14 @@ def _cmd_run(args) -> int:
 
 def _cmd_figure7(args) -> int:
     engine = _engine_from(args)
+    checkpoint = _policy_from(args)
     if args.quick:
         result = figure7_sweep(ns=(40, 64), disconnections=(0, 2, 4),
                                repeats=args.repeats, base_seed=args.seed,
-                               engine=engine)
+                               engine=engine, checkpoint=checkpoint)
     else:
         result = figure7_sweep(repeats=args.repeats, base_seed=args.seed,
-                               engine=engine)
+                               engine=engine, checkpoint=checkpoint)
     print(result.format_table())
     from repro.experiments.plotting import figure7_chart
 
@@ -226,7 +271,8 @@ def _cmd_figure7(args) -> int:
 
 
 def _cmd_iterations(args) -> int:
-    result = iterations_vs_n(engine=_engine_from(args))
+    result = iterations_vs_n(engine=_engine_from(args),
+                             checkpoint=_policy_from(args))
     print(result.format_table())
     if args.csv:
         from repro.experiments.export import ratio_to_csv, write_csv
@@ -284,7 +330,8 @@ def _cmd_timeline(args) -> int:
 
 def _cmd_syncasync(args) -> int:
     result = sync_vs_async(n=args.n, disconnections=args.disconnections,
-                           seed=args.seed, engine=_engine_from(args))
+                           seed=args.seed, engine=_engine_from(args),
+                           checkpoint=_policy_from(args))
     print(result.format_table())
     return 0
 
@@ -386,11 +433,17 @@ def _cmd_faults(args) -> int:
             kinds = ", ".join(sorted({a.kind for a in plan.actions}))
             print(f"{name:>{width}}: {description}")
             print(f"{'':>{width}}  [{len(plan)} action(s): {kinds}]")
+            requires = scenario_overrides(name)
+            if requires:
+                needs = ", ".join(f"{k}={v}" for k, v in sorted(
+                    requires.items()))
+                print(f"{'':>{width}}  [requires: {needs}]")
         return 0
 
     n, peers = (32, 4) if args.quick else (args.n, args.peers)
     spec = RunSpec(n=n, peers=peers, seed=args.seed,
                    faults=scenario(args.scenario), traced=args.report,
+                   checkpoint=_policy_from(args),
                    **scenario_overrides(args.scenario))
     result = _engine_from(args).run(spec)
     row = result.row()

@@ -26,8 +26,10 @@ import json
 import pathlib
 from dataclasses import asdict, dataclass, fields, replace
 
+from repro.checkpoint.policy import (CheckpointPolicy, FixedPolicy,
+                                     policy_from_dict)
 from repro.faults.plan import FaultPlan
-from repro.p2p.config import P2PConfig
+from repro.p2p.config import P2PConfig, _quiet_checkpoint_knobs
 
 # NOTE: repro.experiments.config is imported lazily (inside normalized())
 # because the experiments package itself imports repro.exec — the None
@@ -80,6 +82,13 @@ class RunSpec:
     #: scheduled fault scenario (:class:`repro.faults.FaultPlan`) executed
     #: alongside the run; seeded from ``seed`` like everything else
     faults: FaultPlan | None = None
+    #: checkpoint strategy (:class:`repro.checkpoint.CheckpointPolicy`);
+    #: None resolves to the paper's :class:`~repro.checkpoint.FixedPolicy`
+    #: built from the (deprecated) config knobs at normalization
+    checkpoint: CheckpointPolicy | None = None
+    #: screen incoming boundary components (and restored Backups) with the
+    #: contraction-bound corruption filter (arXiv:2206.08479)
+    reject_corruption: bool = False
     #: switch on the epidemic control plane (``repro.gossip``): membership
     #: discovery, decentralized convergence cross-check, gossip traces
     gossip: bool = False
@@ -119,6 +128,22 @@ class RunSpec:
         changes: dict = {}
         if self.config is None:
             changes["config"] = EXPERIMENT_CONFIG
+        # Canonicalize the checkpoint strategy: the legacy config-knob route
+        # and the explicit policy route must produce field-identical specs
+        # (and therefore the same cache key).  Knobs fold into a FixedPolicy;
+        # the knobs themselves reset to their defaults.
+        cfg = changes.get("config", self.config)
+        if self.checkpoint is None:
+            changes["checkpoint"] = FixedPolicy(
+                count=cfg.backup_count, frequency=cfg.checkpoint_frequency
+            )
+        cfg_fields = P2PConfig.__dataclass_fields__
+        knob_defaults = {
+            k: cfg_fields[k].default
+            for k in ("checkpoint_frequency", "backup_count")
+        }
+        if any(getattr(cfg, k) != d for k, d in knob_defaults.items()):
+            changes["config"] = cfg.with_(**knob_defaults)
         if self.overlap is None:
             changes["overlap"] = optimal_overlap(self.n, self.peers)
         if self.n_daemons is None:
@@ -154,15 +179,24 @@ class RunSpec:
         # asdict() loses the actions' class identity (their ``kind`` tag is
         # a ClassVar); FaultPlan.to_dict keeps it.
         out["faults"] = self.faults.to_dict() if self.faults is not None else None
+        # same story for policies: keep the registry tag
+        out["checkpoint"] = (
+            self.checkpoint.to_dict() if self.checkpoint is not None else None
+        )
         return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
         data = dict(data)
         if data.get("config") is not None:
-            data["config"] = P2PConfig(**data["config"])
+            # reconstructing recorded data, not a new construction site:
+            # historical non-default knobs must not trip the deprecation shim
+            with _quiet_checkpoint_knobs():
+                data["config"] = P2PConfig(**data["config"])
         if data.get("faults") is not None:
             data["faults"] = FaultPlan.from_dict(data["faults"])
+        if data.get("checkpoint") is not None:
+            data["checkpoint"] = policy_from_dict(data["checkpoint"])
         known = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 

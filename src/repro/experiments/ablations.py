@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.checkpoint import FixedPolicy
 from repro.exec import RunSpec, SweepEngine
 from repro.experiments.config import EXPERIMENT_CONFIG, EXPERIMENT_LINK_SCALE
 from repro.experiments.report import format_table
@@ -57,7 +58,8 @@ def checkpoint_frequency_ablation(
     runs = engine.map(
         RunSpec(
             n=n, peers=peers, disconnections=disconnections, seed=seed,
-            config=EXPERIMENT_CONFIG.with_(checkpoint_frequency=k),
+            checkpoint=FixedPolicy(count=EXPERIMENT_CONFIG.backup_count,
+                                   frequency=k),
         )
         for k in frequencies
     )
@@ -97,8 +99,7 @@ def backup_count_ablation(
     runs = dict(zip(grid, engine.map(
         RunSpec(
             n=n, peers=peers, disconnections=disconnections, seed=seed,
-            config=EXPERIMENT_CONFIG.with_(backup_count=count,
-                                           checkpoint_frequency=2),
+            checkpoint=FixedPolicy(count=count, frequency=2),
             collect=False,
         )
         for (count, seed) in grid

@@ -87,6 +87,15 @@ class RunResult:
     takeovers: int = 0
     #: simulated time of the standby promotion (None without one)
     takeover_at: float | None = None
+    #: iterations re-executed after recoveries (beyond the converged
+    #: per-task frontier) — the re-work half of the wasted-work metric
+    wasted_iterations: int = 0
+    #: Backup payload bytes shipped to guardians — the bandwidth half
+    checkpoint_bytes: int = 0
+    #: boundary components discarded by the corruption filter
+    components_rejected: int = 0
+    #: Backups refused at recovery by the plausibility screen
+    checkpoints_rejected: int = 0
     #: populated only when the run was traced (``tracer=`` argument)
     run_report: RunReport | None = field(default=None, compare=False)
 
@@ -149,6 +158,8 @@ def run_poisson_on_p2p(
     faults: FaultPlan | None = None,
     gossip: bool | None = None,
     standby: bool | None = None,
+    checkpoint=None,
+    reject_corruption: bool | None = None,
     spec: RunSpec | None = None,
     tracer: Tracer | None = None,
 ) -> RunResult:
@@ -191,6 +202,8 @@ def run_poisson_on_p2p(
             "use_cache": use_cache, "inner_tol": inner_tol,
             "inner_max_iter": inner_max_iter, "faults": faults,
             "gossip": gossip, "standby": standby,
+            "checkpoint": checkpoint,
+            "reject_corruption": reject_corruption,
         }.items()
         if value is not None
     }
@@ -236,6 +249,7 @@ def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
         config=spec.config,
         link_scale=spec.link_scale,
         tracer=tracer,
+        checkpoint=spec.checkpoint,
     )
     app = make_poisson_app(
         "poisson",
@@ -247,6 +261,7 @@ def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
         use_cache=spec.use_cache,
         inner_tol=spec.inner_tol,
         inner_max_iter=spec.inner_max_iter,
+        reject_corruption=spec.reject_corruption,
     )
     stable_store = StableStore() if spec.standby else None
     spawner = launch_application(cluster, app, stable_store=stable_store)
@@ -354,5 +369,9 @@ def execute_spec(spec: RunSpec, tracer: Tracer | None = None) -> RunResult:
         messages_corrupted=fault_injector.corrupted if fault_injector else 0,
         takeovers=1 if (standby is not None and standby.promoted) else 0,
         takeover_at=standby.takeover_at if standby is not None else None,
+        wasted_iterations=telemetry.wasted_iterations,
+        checkpoint_bytes=telemetry.checkpoint_bytes,
+        components_rejected=telemetry.components_rejected,
+        checkpoints_rejected=telemetry.checkpoints_rejected,
         run_report=run_report,
     )

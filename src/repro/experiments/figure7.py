@@ -75,6 +75,7 @@ def figure7_sweep(
     config: P2PConfig | None = None,
     horizon: float = 900.0,
     engine: SweepEngine | None = None,
+    checkpoint=None,
 ) -> Figure7Result:
     """Run the whole sweep.  The churn-free run of each (n, seed) also
     provides the churn window for that n (disconnections happen "during
@@ -110,6 +111,7 @@ def figure7_sweep(
             config=config,
             horizon=horizon,
             collect=False,
+            checkpoint=checkpoint,
         )
         for (n, d, r) in grid
     )

@@ -68,6 +68,7 @@ def iterations_vs_n(
     tol: float = 1e-6,
     horizon: float = 900.0,
     engine: SweepEngine | None = None,
+    checkpoint=None,
 ) -> RatioResult:
     engine = engine if engine is not None else SweepEngine()
     result = RatioResult(ns=tuple(ns), peers=peers)
@@ -75,6 +76,7 @@ def iterations_vs_n(
         RunSpec(
             n=n, peers=peers, seed=seed, overlap=optimal_overlap(n, peers),
             convergence_threshold=tol, horizon=horizon, collect=False,
+            checkpoint=checkpoint,
         )
         for n in ns
     )

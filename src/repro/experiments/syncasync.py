@@ -69,6 +69,7 @@ def sync_vs_async(
     seed: int = 0,
     horizon: float = 900.0,
     engine: SweepEngine | None = None,
+    checkpoint=None,
 ) -> SyncAsyncResult:
     config = EXPERIMENT_CONFIG
     engine = engine if engine is not None else SweepEngine()
@@ -82,13 +83,14 @@ def sync_vs_async(
     # Figure-7 grid's d=0 cell uses, so a shared cache serves it for free
     calibration = engine.run(RunSpec(
         n=n, peers=peers, disconnections=0, seed=seed, config=config,
-        horizon=horizon, collect=False,
+        horizon=horizon, collect=False, checkpoint=checkpoint,
     ))
     window = calibration.simulated_time or horizon
 
     cluster = build_cluster(
         n_daemons=peers + max(3, peers // 2), n_superpeers=3, seed=seed,
         config=config, link_scale=EXPERIMENT_LINK_SCALE,
+        checkpoint=checkpoint,
     )
     overlap = optimal_overlap(n, peers)
     app = make_poisson_app(
@@ -141,9 +143,13 @@ def sync_vs_async(
     fallback = [h for h in testbed2.daemon_hosts if h not in used_hosts]
     hosts2 = [h if h is not None else fallback.pop(0) for h in used_hosts]
 
+    # the sync baseline has no failure feed: a fixed-style policy maps to
+    # its coordinated-checkpoint cadence, anything else keeps the default
+    sync_frequency = getattr(checkpoint, "frequency", None) \
+        or config.checkpoint_frequency
     engine = SynchronousEngine(
         sim2, hosts2, app,
-        checkpoint_frequency=config.checkpoint_frequency,
+        checkpoint_frequency=sync_frequency,
         convergence_threshold=config.convergence_threshold,
         stability_window=config.stability_window,
         link_model=testbed2.network.link_model,

@@ -127,6 +127,17 @@ SCENARIOS: dict[str, tuple[str, FaultPlan]] = {
             name="discovery-storm",
         ),
     ),
+    "poisoned-channel": (
+        "whole-run silent data corruption: without the contraction-bound "
+        "rejection filter the solver chases poisoned components and stalls "
+        "or converges wrong; with it on, the run converges correctly "
+        "(arXiv:2206.08479)",
+        FaultPlan.of(
+            MessageCorruption(time=0.02, duration=30.0, rate=0.05,
+                              magnitude=1e3),
+            name="poisoned-channel",
+        ),
+    ),
 }
 
 #: RunSpec fields a scenario needs switched on to be meaningful; the CLI's
@@ -136,6 +147,7 @@ SCENARIO_REQUIRES: dict[str, dict[str, bool]] = {
     "spawner-down": {"gossip": True, "standby": True},
     "standby-flap": {"gossip": True, "standby": True},
     "discovery-storm": {"gossip": True},
+    "poisoned-channel": {"reject_corruption": True},
 }
 
 

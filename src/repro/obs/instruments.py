@@ -56,6 +56,14 @@ class RunTelemetry:
             "data_messages_sent", "asynchronous dependency messages sent")
         self._checkpoints = r.counter(
             "checkpoints_sent", "Backup objects shipped to guardian peers")
+        self._checkpoint_bytes = r.counter(
+            "checkpoint_bytes", "Backup payload bytes shipped to guardians")
+        self._checkpoints_rejected = r.counter(
+            "checkpoints_rejected",
+            "Backups refused at recovery by the plausibility screen")
+        self._components_rejected = r.counter(
+            "components_rejected",
+            "boundary components discarded by the corruption filter")
         self._convergence_messages = r.counter(
             "convergence_messages", "local-stability flip messages sent")
         self._recoveries = r.counter(
@@ -66,9 +74,16 @@ class RunTelemetry:
             "launched_at", "simulated time the application was launched")
         self._converged = r.gauge(
             "converged_at", "simulated time global convergence was declared")
+        self._frontier = r.gauge(
+            "task_frontier",
+            "iteration each task had reached when the app halted, by task")
         self._launched.set(0.0)
         #: full recovery history (order preserved, richer than the counter)
         self.recoveries: list[RecoveryRecord] = []
+
+    def record_frontier(self, task_id: int, iteration: int) -> None:
+        """The iteration a task stood at when global convergence halted it."""
+        self._frontier.set(float(iteration), task=task_id)
 
     # -- writers -------------------------------------------------------------
 
@@ -104,6 +119,30 @@ class RunTelemetry:
     @checkpoints_sent.setter
     def checkpoints_sent(self, value: int) -> None:
         self._checkpoints.set(value)
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        return int(self._checkpoint_bytes.total)
+
+    @checkpoint_bytes.setter
+    def checkpoint_bytes(self, value: int) -> None:
+        self._checkpoint_bytes.set(value)
+
+    @property
+    def checkpoints_rejected(self) -> int:
+        return int(self._checkpoints_rejected.total)
+
+    @checkpoints_rejected.setter
+    def checkpoints_rejected(self, value: int) -> None:
+        self._checkpoints_rejected.set(value)
+
+    @property
+    def components_rejected(self) -> int:
+        return int(self._components_rejected.total)
+
+    @components_rejected.setter
+    def components_rejected(self, value: int) -> None:
+        self._components_rejected.set(value)
 
     @property
     def convergence_messages(self) -> int:
@@ -175,6 +214,17 @@ class RunTelemetry:
     @property
     def restarts_from_zero(self) -> int:
         return int(self._from_scratch.total)
+
+    @property
+    def wasted_iterations(self) -> int:
+        """Iterations executed beyond the converged per-task frontier —
+        i.e. work redone after recoveries rolled tasks back.  Zero until
+        the app halts (the frontier is recorded at halt time)."""
+        frontier = self._frontier._values
+        if not frontier:
+            return 0
+        kept = int(sum(frontier.values()))
+        return max(0, self.total_iterations - kept)
 
     @property
     def execution_time(self) -> float | None:

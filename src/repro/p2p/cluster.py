@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.checkpoint import CheckpointPolicy, FailureFeed
 from repro.compute import ComputePlane
 from repro.errors import ConfigurationError, FaultError
 from repro.des import Simulator, TimerWheel
@@ -82,6 +83,12 @@ class Cluster:
     #: cluster-wide batched compute plane (wall-clock only, never DES):
     #: every Daemon incarnation routes plane-capable inner solves here
     compute: ComputePlane = field(default_factory=ComputePlane)
+    #: cluster-wide checkpoint strategy handed to every Daemon incarnation
+    #: (None = the paper's fixed scheme from the config knobs)
+    checkpoint: CheckpointPolicy | None = None
+    #: shared failure/cost statistics: Spawner evictions write into it,
+    #: adaptive checkpoint policies read from it
+    failure_feed: FailureFeed = field(default_factory=FailureFeed)
 
     @property
     def network(self):
@@ -143,6 +150,8 @@ class Cluster:
             telemetry=self.telemetry,
             wheel=self.wheel,
             compute=self.compute,
+            checkpoint=self.checkpoint,
+            failure_feed=self.failure_feed,
         )
         self.daemons[host.name] = daemon
         return daemon
@@ -207,6 +216,7 @@ def build_cluster(
     link_scale: float = 1.0,
     loss_rate: float = 0.0,
     tracer=None,
+    checkpoint: CheckpointPolicy | None = None,
 ) -> Cluster:
     """Create a full deployment mirroring the paper's §7 testbed shape.
 
@@ -236,7 +246,8 @@ def build_cluster(
         with_standby=config.standby_enabled,
     )
     log = EventLog()
-    cluster = Cluster(sim=sim, testbed=testbed, config=config, rng=rng, log=log)
+    cluster = Cluster(sim=sim, testbed=testbed, config=config, rng=rng, log=log,
+                      checkpoint=checkpoint)
 
     # tier 0 keeps the historical SP0..SPn-1 ids; interior tiers are
     # SP-t<tier>.<index> on the extra Super-Peer hosts
@@ -351,6 +362,7 @@ def launch_application(
         log=cluster.log,
         telemetry=cluster.telemetry if index == 0 else RunTelemetry(),
         stable_store=stable_store,
+        failure_feed=cluster.failure_feed,
     )
     cluster.spawners.append(spawner)
     cluster.apps.append(app)
@@ -390,6 +402,7 @@ def launch_standby(
         log=cluster.log,
         telemetry=primary.telemetry,
         stable_store=stable_store,
+        failure_feed=cluster.failure_feed,
     )
     cluster.standby = standby
     return standby
@@ -427,6 +440,7 @@ def resume_application(
         stable_store=stable_store,
         resume_from=snapshot.register,
         reign=snapshot.reign + 1,
+        failure_feed=cluster.failure_feed,
     )
     cluster.spawners.append(spawner)
     if cluster.config.gossip_enabled:

@@ -6,11 +6,33 @@ use conventional values elsewhere (heartbeat/timeout ratios, ports).
 """
 
 from __future__ import annotations
-from repro.errors import ConfigurationError
 
+import contextlib
+import warnings
 from dataclasses import dataclass, replace
 
+from repro.errors import ConfigurationError
+
 __all__ = ["P2PConfig"]
+
+#: the historical checkpoint knobs, now shimmed behind
+#: :class:`repro.checkpoint.CheckpointPolicy` (see docs/checkpointing.md)
+_CHECKPOINT_KNOBS = ("checkpoint_frequency", "backup_count")
+_CHECKPOINT_KNOB_DEFAULTS = {"checkpoint_frequency": 5, "backup_count": 20}
+
+#: suppression depth for internal re-construction (``with_`` on untouched
+#: knobs, spec deserialization) — those are not user construction sites
+_knob_warning_suppressed = 0
+
+
+@contextlib.contextmanager
+def _quiet_checkpoint_knobs():
+    global _knob_warning_suppressed
+    _knob_warning_suppressed += 1
+    try:
+        yield
+    finally:
+        _knob_warning_suppressed -= 1
 
 
 @dataclass(frozen=True)
@@ -185,7 +207,29 @@ class P2PConfig:
                  self.standby_port}
         if len(ports) != 4:
             raise ConfigurationError("entity ports must be distinct")
+        if _knob_warning_suppressed == 0 and any(
+            getattr(self, k) != _CHECKPOINT_KNOB_DEFAULTS[k]
+            for k in _CHECKPOINT_KNOBS
+        ):
+            warnings.warn(
+                "repro.p2p.P2PConfig checkpoint_frequency/backup_count are "
+                "deprecated: pass RunSpec(checkpoint=FixedPolicy(count=..., "
+                "frequency=...)) (or build_cluster(checkpoint=...)) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
 
     def with_(self, **changes) -> "P2PConfig":
-        """A copy with the given fields replaced."""
-        return replace(self, **changes)
+        """A copy with the given fields replaced.
+
+        Copies that merely carry existing checkpoint knobs forward are not
+        new construction sites, so the deprecation shim only fires when
+        ``changes`` itself sets a knob to a non-default value."""
+        if any(
+            changes.get(k, _CHECKPOINT_KNOB_DEFAULTS[k])
+            != _CHECKPOINT_KNOB_DEFAULTS[k]
+            for k in _CHECKPOINT_KNOBS
+        ):
+            return replace(self, **changes)
+        with _quiet_checkpoint_knobs():
+            return replace(self, **changes)

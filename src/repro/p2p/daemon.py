@@ -22,7 +22,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.checkpoint import Backup, BackupPolicy, BackupStore, choose_latest
+from repro.checkpoint import Backup, BackupStore, FixedPolicy, choose_latest
 from repro.convergence import LocalConvergenceDetector
 from repro.gossip import GossipAgent
 from repro.des import Simulator, TimerWheel
@@ -85,18 +85,24 @@ class TaskRunner:
         #: announces a higher reign; lower-reign announcements are stale)
         self.leader_reign = 1
         self.telemetry = telemetry
-        self.policy = BackupPolicy(
-            num_tasks=num_tasks,
-            count=self.config.backup_count,
-            frequency=self.config.checkpoint_frequency,
-        )
+        # Bind the cluster's checkpoint strategy (default: the paper's
+        # fixed scheme built from the config knobs) into this runner's
+        # mutable scheduling state.
+        policy_spec = daemon.checkpoint
+        if policy_spec is None:
+            policy_spec = FixedPolicy(
+                count=self.config.backup_count,
+                frequency=self.config.checkpoint_frequency,
+            )
+        self.policy = policy_spec.bind(num_tasks, feed=daemon.failure_feed)
         self.detector = LocalConvergenceDetector(
             threshold=convergence_threshold, stability_window=stability_window
         )
         self.inbox: dict[int, Any] = {}
         self.iteration = 0
-        self.save_count = 0
         self.halted = False
+        #: rejected-component count already surfaced as traces/metrics
+        self._rejected_seen = 0
         self.iterations_done = 0
         self.useless_done = 0
         #: memoized boundary-envelope size per neighbour: for an ndarray
@@ -209,6 +215,8 @@ class TaskRunner:
                     self.telemetry.record_iteration(
                         self.task_id, fresh or self.num_tasks == 1
                     )
+                self.policy.on_iteration(self.sim.now, duration)
+                self._surface_rejections()
                 self._send_outgoing(step.outgoing)
                 self._maybe_checkpoint()
                 self._report_convergence(step.local_distance)
@@ -280,6 +288,18 @@ class TaskRunner:
                     )
                 except RemoteError:
                     backup = None
+        if backup is not None and self.params.get("reject_corruption"):
+            # a Backup of a corrupted iterate would re-seed the poison on
+            # every recovery: screen it like any other incoming data
+            if not self.task.state_plausible(backup.state):
+                self.daemon._trace("checkpoint_rejected", task=self.task_id,
+                                   iteration=backup.iteration,
+                                   guardian=best_peer)
+                self.daemon._log("checkpoint_rejected", task=self.task_id,
+                                 iteration=backup.iteration)
+                if self.telemetry is not None:
+                    self.telemetry.checkpoints_rejected += 1
+                backup = None
         if backup is not None:
             self.task.load_state(backup.restore())
             self.iteration = backup.iteration
@@ -288,7 +308,7 @@ class TaskRunner:
             self.task.load_state(self.task.initial_state())
             self.iteration = 0
             from_scratch = True
-        self.save_count = self.iteration // self.policy.frequency
+        self.policy.on_rollback(self.iteration)
         self.daemon._log(
             "task_recovered",
             task=self.task_id,
@@ -343,46 +363,65 @@ class TaskRunner:
             if self.telemetry is not None:
                 self.telemetry.data_messages_sent += 1
 
-    def _maybe_checkpoint(self) -> None:
-        if not self.policy.checkpoint_due(self.iteration):
+    def _surface_rejections(self) -> None:
+        """Emit trace/metric deltas for boundary components the task's
+        corruption filter discarded during this iteration's inbox fold."""
+        rejected = self.task.components_rejected
+        if rejected == self._rejected_seen:
             return
-        target_task = self.policy.target_for_save(self.task_id, self.save_count)
-        self.save_count += 1
-        if target_task is None:
-            return
-        stub = self.register.stub_of(target_task)
-        if stub is None:
-            return  # guardian unassigned right now: this checkpoint is skipped
-        backup = Backup(
-            task_id=self.task_id,
-            iteration=self.iteration,
-            state=self.task.dump_state(),
-            app_id=self.app_id,
-            created_at=self.sim.now,
-        )
-        # The envelope around a Backup is a fixed shell (two method/object
-        # strings, the args tuple, an empty kwargs dict); the Backup itself
-        # is primed at construction.  Measure the shell once per guardian
-        # stub and derive later sizes as base + the Backup's own memo —
-        # byte-identical to the full walk ``network.send`` would run.
-        size = None
-        if HOTPATH.size_memo:
-            bsize = memoized_payload_size(backup)
-            if bsize is not None:
-                cached = self._backup_sizes.get(target_task)
-                if cached is not None and cached[0] is stub:
-                    size = cached[1] + bsize
-                else:
-                    probe = OnewayMessage(
-                        stub.object_name, "store_backup", (backup,), {},
-                    )
-                    size = measured_size(probe)
-                    self._backup_sizes[target_task] = (stub, size - bsize)
-        self.daemon.runtime.oneway(stub, "store_backup", backup, size=size)
-        self.daemon._trace("checkpoint_store", task=self.task_id,
-                           iteration=self.iteration, guardian=target_task)
+        delta = rejected - self._rejected_seen
+        self._rejected_seen = rejected
+        self.daemon._trace("component_rejected", task=self.task_id,
+                           iteration=self.iteration, count=delta)
         if self.telemetry is not None:
-            self.telemetry.checkpoints_sent += 1
+            self.telemetry.components_rejected += delta
+
+    def _maybe_checkpoint(self) -> None:
+        policy = self.policy
+        if not policy.checkpoint_due(self.iteration, self.sim.now):
+            return
+        targets = policy.begin_save(self.task_id, self.iteration)
+        if not targets:
+            return
+        backup = None
+        for target_task in targets:
+            stub = self.register.stub_of(target_task)
+            if stub is None:
+                continue  # guardian unassigned right now: replica skipped
+            if backup is None:
+                backup = Backup(
+                    task_id=self.task_id,
+                    iteration=self.iteration,
+                    state=self.task.dump_state(),
+                    app_id=self.app_id,
+                    created_at=self.sim.now,
+                )
+            # The envelope around a Backup is a fixed shell (two
+            # method/object strings, the args tuple, an empty kwargs dict);
+            # the Backup itself is primed at construction.  Measure the
+            # shell once per guardian stub and derive later sizes as base +
+            # the Backup's own memo — byte-identical to the full walk
+            # ``network.send`` would run.
+            size = None
+            if HOTPATH.size_memo:
+                bsize = memoized_payload_size(backup)
+                if bsize is not None:
+                    cached = self._backup_sizes.get(target_task)
+                    if cached is not None and cached[0] is stub:
+                        size = cached[1] + bsize
+                    else:
+                        probe = OnewayMessage(
+                            stub.object_name, "store_backup", (backup,), {},
+                        )
+                        size = measured_size(probe)
+                        self._backup_sizes[target_task] = (stub, size - bsize)
+            self.daemon.runtime.oneway(stub, "store_backup", backup, size=size)
+            policy.on_checkpoint(backup.nbytes)
+            self.daemon._trace("checkpoint_store", task=self.task_id,
+                               iteration=self.iteration, guardian=target_task)
+            if self.telemetry is not None:
+                self.telemetry.checkpoints_sent += 1
+                self.telemetry.checkpoint_bytes += backup.nbytes
 
     def _report_convergence(self, distance: float) -> None:
         flipped = self.detector.update(distance)
@@ -422,6 +461,8 @@ class Daemon(RemoteObject):
         telemetry: RunTelemetry | None = None,
         wheel: TimerWheel | None = None,
         compute=None,
+        checkpoint=None,
+        failure_feed=None,
     ):
         if not superpeer_addresses:
             raise ConfigurationError("a Daemon needs at least one Super-Peer address")
@@ -431,6 +472,11 @@ class Daemon(RemoteObject):
         self.daemon_id = daemon_id
         self.superpeer_addresses = list(superpeer_addresses)
         self.config = config
+        #: cluster-wide :class:`repro.checkpoint.CheckpointPolicy` (or None
+        #: for the config-knob fixed default) bound per task runner
+        self.checkpoint = checkpoint
+        #: shared :class:`repro.checkpoint.FailureFeed` adaptive policies read
+        self.failure_feed = failure_feed
         #: cluster-wide :class:`repro.compute.ComputePlane` (or None): the
         #: wall-clock batching fabric task runners route inner solves through
         self.compute = compute
@@ -909,6 +955,13 @@ class Daemon(RemoteObject):
             # keep the converged fragment so it can still be collected
             # after the runner has wound down
             self.final_fragments[app_id] = self.runner.task.solution_fragment()
+            if self.telemetry is not None:
+                # the converged frontier: iterations *kept* for this task —
+                # anything the app re-executed beyond the per-task frontier
+                # sum is wasted work (re-iterated after recoveries)
+                self.telemetry.record_frontier(
+                    self.runner.task_id, self.runner.iteration
+                )
             self.runner.halted = True
         self.backup_store.drop_app(app_id)
         return True

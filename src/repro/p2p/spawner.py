@@ -49,6 +49,7 @@ class Spawner(RemoteObject):
         stable_store=None,
         resume_from: ApplicationRegister | None = None,
         reign: int = 1,
+        failure_feed=None,
     ):
         """``stable_store`` persists the Application Register on every
         membership change (the §4.2 fault-tolerance direction);
@@ -70,6 +71,10 @@ class Spawner(RemoteObject):
         self.log = log
         self.telemetry = telemetry if telemetry is not None else RunTelemetry()
         self.telemetry.launched_at = self.sim.now
+        #: shared :class:`repro.checkpoint.FailureFeed`: every heartbeat
+        #: eviction is recorded so adaptive checkpoint policies can track
+        #: the observed failure inter-arrival time
+        self.failure_feed = failure_feed
 
         self.stable_store = stable_store
         self.resumed = resume_from is not None
@@ -282,6 +287,8 @@ class Spawner(RemoteObject):
                 slot.daemon_stub = None
                 self.tracker.reset_task(slot.task_id)
                 self.failures_detected += 1
+                if self.failure_feed is not None:
+                    self.failure_feed.record_failure(self.sim.now)
                 self.register.version += 1
                 self._changed_since_broadcast.add(slot.task_id)
                 changed = True

@@ -60,6 +60,7 @@ class StandbySpawner(RemoteObject):
         log: EventLog | None = None,
         telemetry: RunTelemetry | None = None,
         stable_store=None,
+        failure_feed=None,
     ):
         self.sim = network.sim
         self.network = network
@@ -72,6 +73,7 @@ class StandbySpawner(RemoteObject):
         self.log = log
         self.telemetry = telemetry
         self.stable_store = stable_store
+        self.failure_feed = failure_feed
 
         self.runtime = RmiRuntime(
             network, host, config.standby_port,
@@ -251,6 +253,7 @@ class StandbySpawner(RemoteObject):
             stable_store=self.stable_store,
             resume_from=self.shadow_register,
             reign=reign,
+            failure_feed=self.failure_feed,
         )
         if self.telemetry is not None and launched_at is not None:
             # the application started when the PRIMARY launched it; the

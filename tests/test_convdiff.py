@@ -13,6 +13,7 @@ from repro.numerics.convdiff import (
     convection_diffusion_matrix,
 )
 from repro.numerics.matrix import is_m_matrix, is_z_matrix
+from repro.checkpoint import FixedPolicy
 from repro.p2p import P2PConfig, build_cluster, launch_application
 
 from tests.helpers import (
@@ -24,8 +25,9 @@ from tests.helpers import (
 FAST = P2PConfig(
     heartbeat_period=0.5, heartbeat_timeout=2.0, monitor_period=0.5,
     call_timeout=2.0, bootstrap_retry_delay=0.5, reserve_retry_period=0.5,
-    backup_count=3, min_iteration_time=0.01,
+    min_iteration_time=0.01,
 )
+CKPT = FixedPolicy(count=3, frequency=5)
 
 
 # ------------------------------------------------------------------- bicgstab
@@ -130,7 +132,7 @@ def test_convdiff_decomposition_is_async_certified():
 
 def test_convdiff_app_converges_on_runtime():
     n, peers = 12, 3
-    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=43, config=FAST)
+    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=43, config=FAST, checkpoint=CKPT)
     app = make_convdiff_app("cd", n=n, num_tasks=peers, eps=0.5, wx=1.0,
                             wy=0.5, convergence_threshold=1e-9)
     spawner = launch_application(cluster, app)
@@ -143,7 +145,7 @@ def test_convdiff_app_converges_on_runtime():
 
 def test_convdiff_app_survives_failure():
     n, peers = 12, 3
-    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=47, config=FAST)
+    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=47, config=FAST, checkpoint=CKPT)
     app = make_convdiff_app("cd", n=n, num_tasks=peers, eps=0.3, wx=2.0,
                             convergence_threshold=1e-9)
     spawner = launch_application(cluster, app)

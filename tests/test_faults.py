@@ -84,10 +84,11 @@ def test_plans_compose_with_add():
 
 def test_scenario_catalogue():
     assert set(scenario_names()) == set(SCENARIOS)
-    # all nine scenarios, including the control-plane trio added with the
-    # gossip failover work
-    assert {"spawner-down", "standby-flap", "discovery-storm"} <= set(SCENARIOS)
-    assert len(SCENARIOS) == 9
+    # all ten scenarios, including the control-plane trio added with the
+    # gossip failover work and the corruption-filter acceptance scenario
+    assert {"spawner-down", "standby-flap", "discovery-storm",
+            "poisoned-channel"} <= set(SCENARIOS)
+    assert len(SCENARIOS) == 10
     for name in scenario_names():
         plan = scenario(name)
         assert len(plan) >= 1

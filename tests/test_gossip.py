@@ -13,6 +13,7 @@ from repro.exec import RunSpec
 from repro.faults import FaultInjector, FaultPlan, SpawnerCrash, scenario
 from repro.gossip import GossipAgent, PeerStore
 from repro.net.address import Address
+from repro.checkpoint import FixedPolicy
 from repro.p2p import (
     P2PConfig,
     StableStore,
@@ -32,12 +33,11 @@ GOSSIP_FAST = P2PConfig(
     call_timeout=2.0,
     bootstrap_retry_delay=0.5,
     reserve_retry_period=0.5,
-    checkpoint_frequency=5,
-    backup_count=3,
     min_iteration_time=0.01,
     gossip_enabled=True,
     standby_enabled=True,
 )
+CKPT = FixedPolicy(count=3, frequency=5)
 
 
 # -- the bounded peer store ----------------------------------------------------
@@ -106,7 +106,7 @@ def test_daemons_discover_superpeers_beyond_the_seed_list():
     """With gossip discovery on, Daemons are seeded with only TWO contact
     addresses but learn the rest of the Super-Peer roster over gossip."""
     cluster = build_cluster(n_daemons=5, n_superpeers=3, seed=2,
-                            config=GOSSIP_FAST)
+                            config=GOSSIP_FAST, checkpoint=CKPT)
     third = cluster.superpeer_addresses[2]
     assert all(d.gossip is not None for d in cluster.daemons.values())
     assert all(len(d.gossip.seeds) <= 2 for d in cluster.daemons.values())
@@ -118,7 +118,7 @@ def test_daemons_discover_superpeers_beyond_the_seed_list():
 
 def test_register_backoff_grows_is_bounded_and_deterministic():
     cluster = build_cluster(n_daemons=2, n_superpeers=1, seed=0,
-                            config=GOSSIP_FAST)
+                            config=GOSSIP_FAST, checkpoint=CKPT)
     daemon = next(iter(cluster.daemons.values()))
     delays = [daemon._retry_backoff() for _ in range(8)]
     config = cluster.config
@@ -129,7 +129,7 @@ def test_register_backoff_grows_is_bounded_and_deterministic():
     assert delays[-1] >= config.bootstrap_retry_max
     # deterministic: a fresh daemon in a reseeded cluster replays the draws
     clone = build_cluster(n_daemons=2, n_superpeers=1, seed=0,
-                          config=GOSSIP_FAST)
+                          config=GOSSIP_FAST, checkpoint=CKPT)
     twin = next(iter(clone.daemons.values()))
     assert [twin._retry_backoff() for _ in range(8)] == delays
     # a successful registration resets the schedule
@@ -142,7 +142,7 @@ def test_register_backoff_grows_is_bounded_and_deterministic():
 
 def test_gossip_run_cross_checks_convergence():
     cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=3,
-                            config=GOSSIP_FAST)
+                            config=GOSSIP_FAST, checkpoint=CKPT)
     spawner = launch_application(cluster, make_geometric_app(num_tasks=3))
     assert run_until_done(cluster, spawner, horizon=300.0)
     assert spawner.gossip is not None
@@ -166,7 +166,7 @@ def _slow_app(num_tasks=3):
 
 def test_spawner_crash_promotes_standby_and_run_converges():
     cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=4,
-                            config=GOSSIP_FAST)
+                            config=GOSSIP_FAST, checkpoint=CKPT)
     app = _slow_app()
     store = StableStore()
     primary = launch_application(cluster, app, stable_store=store)
@@ -189,7 +189,7 @@ def test_spawner_crash_replay_is_pinned_and_bit_identical():
 
     def run_once():
         cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=4,
-                                config=GOSSIP_FAST)
+                                config=GOSSIP_FAST, checkpoint=CKPT)
         app = _slow_app()
         store = StableStore()
         primary = launch_application(cluster, app, stable_store=store)
@@ -217,7 +217,7 @@ def test_ghost_runners_reattach_to_the_promoted_spawner():
     reclaim their slots via ``reattach_task`` instead of heartbeating a
     dead address forever."""
     cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=4,
-                            config=GOSSIP_FAST)
+                            config=GOSSIP_FAST, checkpoint=CKPT)
     app = _slow_app()
     store = StableStore()
     primary = launch_application(cluster, app, stable_store=store)
@@ -237,7 +237,7 @@ def test_ghost_runners_reattach_to_the_promoted_spawner():
 def test_spawner_flap_keeps_exactly_one_leader():
     """The resurrected primary must abdicate to the promoted standby."""
     cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=4,
-                            config=GOSSIP_FAST)
+                            config=GOSSIP_FAST, checkpoint=CKPT)
     app = _slow_app()
     store = StableStore()
     primary = launch_application(cluster, app, stable_store=store)

@@ -15,6 +15,7 @@ import pytest
 
 from repro.apps import make_poisson_app
 from repro.numerics import Poisson2D
+from repro.checkpoint import FixedPolicy
 from repro.p2p import P2PConfig, build_cluster, launch_application
 
 from tests.helpers import (
@@ -32,10 +33,10 @@ LOSSY = P2PConfig(
     call_timeout=1.5,
     bootstrap_retry_delay=0.3,
     reserve_retry_period=0.5,
-    backup_count=4,
     min_iteration_time=0.01,
     stability_window=6,
 )
+CKPT = FixedPolicy(count=4, frequency=5)
 
 
 @pytest.mark.parametrize("loss_rate", [0.05, 0.2])
@@ -43,6 +44,7 @@ def test_poisson_converges_on_lossy_network(loss_rate):
     n, peers = 16, 4
     cluster = build_cluster(
         n_daemons=8, n_superpeers=2, seed=23, config=LOSSY,
+        checkpoint=CKPT,
         loss_rate=loss_rate,
     )
     app = make_poisson_app("p", n=n, num_tasks=peers,
@@ -62,6 +64,7 @@ def test_loss_slows_but_does_not_break():
     for loss in (0.0, 0.2):
         cluster = build_cluster(
             n_daemons=8, n_superpeers=2, seed=29, config=LOSSY,
+            checkpoint=CKPT,
             loss_rate=loss,
         )
         app = make_poisson_app("p", n=16, num_tasks=4,
@@ -81,6 +84,7 @@ def test_false_detections_are_survivable():
     cluster = build_cluster(
         n_daemons=8, n_superpeers=2, seed=31,
         config=LOSSY.with_(heartbeat_timeout=1.0),  # hair-trigger detection
+        checkpoint=CKPT,
         loss_rate=0.3,
     )
     app = make_poisson_app("p", n=n, num_tasks=peers,

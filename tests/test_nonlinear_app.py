@@ -9,6 +9,7 @@ from repro.apps import (
     nonlinear_reference,
 )
 from repro.apps.nonlinear_task import _manufactured_system
+from repro.checkpoint import FixedPolicy
 from repro.p2p import P2PConfig, TaskContext, build_cluster, launch_application
 
 from tests.helpers import (
@@ -24,9 +25,9 @@ FAST = P2PConfig(
     call_timeout=2.0,
     bootstrap_retry_delay=0.5,
     reserve_retry_period=0.5,
-    backup_count=3,
     min_iteration_time=0.01,
 )
+CKPT = FixedPolicy(count=3, frequency=5)
 
 
 def make_task(params, task_id=0, num_tasks=2):
@@ -75,7 +76,7 @@ def test_task_validation():
 
 def test_nonlinear_app_converges_asynchronously_on_runtime():
     n, peers = 12, 3
-    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=17, config=FAST)
+    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=17, config=FAST, checkpoint=CKPT)
     app = make_nonlinear_app("nl", n=n, num_tasks=peers, c=1.0,
                              convergence_threshold=1e-9)
     spawner = launch_application(cluster, app)
@@ -88,7 +89,7 @@ def test_nonlinear_app_converges_asynchronously_on_runtime():
 
 def test_nonlinear_app_survives_a_failure():
     n, peers = 12, 3
-    cluster = build_cluster(n_daemons=7, n_superpeers=2, seed=19, config=FAST)
+    cluster = build_cluster(n_daemons=7, n_superpeers=2, seed=19, config=FAST, checkpoint=CKPT)
     app = make_nonlinear_app("nl", n=n, num_tasks=peers, c=0.5,
                              convergence_threshold=1e-9)
     spawner = launch_application(cluster, app)

@@ -3,6 +3,7 @@ collections, idle-daemon control messages, incarnation bookkeeping."""
 
 import pytest
 
+from repro.checkpoint import FixedPolicy
 from repro.p2p import P2PConfig, build_cluster, launch_application
 
 from tests.helpers import (
@@ -14,14 +15,15 @@ from tests.helpers import (
 FAST = P2PConfig(
     heartbeat_period=0.5, heartbeat_timeout=2.0, monitor_period=0.5,
     call_timeout=2.0, bootstrap_retry_delay=0.5, reserve_retry_period=0.5,
-    backup_count=2, min_iteration_time=0.01,
+    min_iteration_time=0.01,
 )
+CKPT = FixedPolicy(count=2, frequency=5)
 
 
 def test_application_larger_than_population_waits_forever():
     """4 tasks, 2 daemons: the app can never fully launch; the maintenance
     loop keeps retrying without crashing or spinning the simulation hot."""
-    cluster = build_cluster(n_daemons=2, n_superpeers=1, seed=81, config=FAST)
+    cluster = build_cluster(n_daemons=2, n_superpeers=1, seed=81, config=FAST, checkpoint=CKPT)
     spawner = launch_application(cluster, make_geometric_app(num_tasks=4))
     cluster.sim.run(until=30.0)
     assert not spawner.done.triggered
@@ -31,7 +33,7 @@ def test_application_larger_than_population_waits_forever():
 
 
 def test_collect_solution_with_dead_fragment_returns_none():
-    cluster = build_cluster(n_daemons=5, n_superpeers=1, seed=83, config=FAST)
+    cluster = build_cluster(n_daemons=5, n_superpeers=1, seed=83, config=FAST, checkpoint=CKPT)
     app = make_geometric_app(num_tasks=3)
     spawner = launch_application(cluster, app)
     assert run_until_done(cluster, spawner, horizon=120.0)
@@ -46,7 +48,7 @@ def test_collect_solution_with_dead_fragment_returns_none():
 
 
 def test_halt_for_unknown_app_is_harmless():
-    cluster = build_cluster(n_daemons=3, n_superpeers=1, seed=85, config=FAST)
+    cluster = build_cluster(n_daemons=3, n_superpeers=1, seed=85, config=FAST, checkpoint=CKPT)
     spawner = launch_application(cluster, make_geometric_app(num_tasks=2))
     sim = cluster.sim
     sim.run(until=2.0)
@@ -56,7 +58,7 @@ def test_halt_for_unknown_app_is_harmless():
 
 
 def test_daemon_incarnations_count_up_per_host():
-    cluster = build_cluster(n_daemons=2, n_superpeers=1, seed=87, config=FAST)
+    cluster = build_cluster(n_daemons=2, n_superpeers=1, seed=87, config=FAST, checkpoint=CKPT)
     sim = cluster.sim
     sim.run(until=1.0)
     host = cluster.testbed.daemon_hosts[0]
@@ -77,13 +79,13 @@ def test_daemon_incarnations_count_up_per_host():
 
 
 def test_superpeer_count_one_still_works():
-    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=89, config=FAST)
+    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=89, config=FAST, checkpoint=CKPT)
     spawner = launch_application(cluster, make_geometric_app(num_tasks=3))
     assert run_until_done(cluster, spawner, horizon=120.0)
 
 
 def test_spawner_done_value_carries_convergence_time():
-    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=91, config=FAST)
+    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=91, config=FAST, checkpoint=CKPT)
     spawner = launch_application(cluster, make_geometric_app(num_tasks=2))
     assert run_until_done(cluster, spawner, horizon=120.0)
     assert spawner.done.value["converged_at"] == pytest.approx(
@@ -92,7 +94,7 @@ def test_spawner_done_value_carries_convergence_time():
 
 
 def test_cluster_handle_accessors():
-    cluster = build_cluster(n_daemons=3, n_superpeers=2, seed=93, config=FAST)
+    cluster = build_cluster(n_daemons=3, n_superpeers=2, seed=93, config=FAST, checkpoint=CKPT)
     assert cluster.network is cluster.testbed.network
     assert len(cluster.superpeer_addresses) == 2
     cluster.sim.run(until=2.0)

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.apps import make_heat_app, make_jacobi_app, make_poisson_app
+from repro.checkpoint import FixedPolicy
 from repro.churn import ChurnEvent, ChurnInjector, PaperChurn, TraceChurn
 from repro.numerics import Poisson2D
 from repro.p2p import P2PConfig, build_cluster, launch_application
@@ -30,10 +31,9 @@ FAST = P2PConfig(
     call_timeout=2.0,
     bootstrap_retry_delay=0.5,
     reserve_retry_period=0.5,
-    checkpoint_frequency=5,
-    backup_count=3,
     min_iteration_time=0.01,
 )
+CKPT = FixedPolicy(count=3, frequency=5)
 
 
 def poisson_accuracy(cluster, spawner, n):
@@ -47,7 +47,7 @@ def poisson_accuracy(cluster, spawner, n):
 
 
 def test_geometric_app_converges():
-    cluster = build_cluster(n_daemons=4, n_superpeers=2, seed=3, config=FAST)
+    cluster = build_cluster(n_daemons=4, n_superpeers=2, seed=3, config=FAST, checkpoint=CKPT)
     spawner = launch_application(cluster, make_geometric_app(num_tasks=3))
     assert run_until_done(cluster, spawner, horizon=120.0)
     assert spawner.execution_time is not None
@@ -58,7 +58,7 @@ def test_geometric_app_converges():
 
 
 def test_poisson_app_accuracy_no_churn():
-    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=5, config=FAST)
+    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=5, config=FAST, checkpoint=CKPT)
     app = make_poisson_app("poisson", n=16, num_tasks=4, convergence_threshold=1e-8)
     spawner = launch_application(cluster, app)
     assert run_until_done(cluster, spawner, horizon=600.0)
@@ -66,7 +66,7 @@ def test_poisson_app_accuracy_no_churn():
 
 
 def test_poisson_app_with_overlap_converges():
-    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=6, config=FAST)
+    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=6, config=FAST, checkpoint=CKPT)
     app = make_poisson_app(
         "poisson", n=16, num_tasks=4, overlap=1, convergence_threshold=1e-8
     )
@@ -76,7 +76,7 @@ def test_poisson_app_with_overlap_converges():
 
 
 def test_jacobi_app_converges():
-    cluster = build_cluster(n_daemons=4, n_superpeers=2, seed=7, config=FAST)
+    cluster = build_cluster(n_daemons=4, n_superpeers=2, seed=7, config=FAST, checkpoint=CKPT)
     app = make_jacobi_app(
         "jac", n=10, num_tasks=3, sweeps=8, convergence_threshold=1e-9,
     )
@@ -88,7 +88,7 @@ def test_jacobi_app_converges():
 
 
 def test_heat_app_reaches_steady_state():
-    cluster = build_cluster(n_daemons=4, n_superpeers=2, seed=8, config=FAST)
+    cluster = build_cluster(n_daemons=4, n_superpeers=2, seed=8, config=FAST, checkpoint=CKPT)
     app = make_heat_app(
         "heat", n=10, num_tasks=3, steps_per_iteration=40,
         convergence_threshold=1e-10,
@@ -102,7 +102,7 @@ def test_heat_app_reaches_steady_state():
 
 
 def test_single_task_application():
-    cluster = build_cluster(n_daemons=2, n_superpeers=1, seed=9, config=FAST)
+    cluster = build_cluster(n_daemons=2, n_superpeers=1, seed=9, config=FAST, checkpoint=CKPT)
     app = make_poisson_app("solo", n=8, num_tasks=1, convergence_threshold=1e-9)
     spawner = launch_application(cluster, app)
     assert run_until_done(cluster, spawner, horizon=300.0)
@@ -112,7 +112,7 @@ def test_single_task_application():
 def test_run_is_deterministic():
     results = []
     for _ in range(2):
-        cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=11, config=FAST)
+        cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=11, config=FAST, checkpoint=CKPT)
         app = make_poisson_app("p", n=12, num_tasks=3, convergence_threshold=1e-7)
         spawner = launch_application(cluster, app)
         assert run_until_done(cluster, spawner, horizon=600.0)
@@ -125,7 +125,7 @@ def test_run_is_deterministic():
 def test_spawner_waits_for_daemons_to_appear():
     """Launch with too few Daemons; the maintenance loop fills slots as
     machines bootstrap later."""
-    cluster = build_cluster(n_daemons=3, n_superpeers=1, seed=13, config=FAST)
+    cluster = build_cluster(n_daemons=3, n_superpeers=1, seed=13, config=FAST, checkpoint=CKPT)
     # ask for more tasks than daemons initially available
     app = make_geometric_app(num_tasks=3, threshold=1e-3)
     # take one daemon host down before it can be reserved
@@ -142,7 +142,7 @@ def test_spawner_waits_for_daemons_to_appear():
 
 
 def test_poisson_survives_disconnections_with_recovery():
-    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=21, config=FAST)
+    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=21, config=FAST, checkpoint=CKPT)
     app = make_poisson_app("poisson", n=16, num_tasks=4, convergence_threshold=1e-8)
     spawner = launch_application(cluster, app)
     trace = TraceChurn((
@@ -162,7 +162,7 @@ def test_poisson_survives_disconnections_with_recovery():
 def test_churn_slows_execution_but_preserves_result():
     times = {}
     for label, n_disc in [("calm", 0), ("stormy", 4)]:
-        cluster = build_cluster(n_daemons=10, n_superpeers=2, seed=31, config=FAST)
+        cluster = build_cluster(n_daemons=10, n_superpeers=2, seed=31, config=FAST, checkpoint=CKPT)
         app = make_poisson_app("p", n=16, num_tasks=4, convergence_threshold=1e-8)
         spawner = launch_application(cluster, app)
         if n_disc:
@@ -182,7 +182,7 @@ def test_churn_slows_execution_but_preserves_result():
 
 
 def test_recovery_resumes_from_checkpoint_not_zero():
-    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=41, config=FAST)
+    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=41, config=FAST, checkpoint=CKPT)
     app = make_poisson_app("p", n=16, num_tasks=4, convergence_threshold=1e-9)
     spawner = launch_application(cluster, app)
     sim = cluster.sim
@@ -200,14 +200,14 @@ def test_recovery_resumes_from_checkpoint_not_zero():
     assert len(recs) == 1
     assert not recs[0].from_scratch
     assert recs[0].resumed_iteration > 0
-    assert recs[0].resumed_iteration % FAST.checkpoint_frequency == 0
+    assert recs[0].resumed_iteration % CKPT.frequency == 0
 
 
 def test_all_backups_lost_restarts_from_zero():
     """Kill the computing daemon AND all of its backup-peers: §5.4 says the
     task must restart from the beginning."""
-    cfg = FAST.with_(backup_count=1, checkpoint_frequency=2)
-    cluster = build_cluster(n_daemons=10, n_superpeers=2, seed=43, config=cfg)
+    cluster = build_cluster(n_daemons=10, n_superpeers=2, seed=43, config=FAST,
+                            checkpoint=FixedPolicy(count=1, frequency=2))
     app = make_geometric_app(num_tasks=3, rate=0.9, threshold=1e-7, flops=5e6)
     spawner = launch_application(cluster, app)
     sim = cluster.sim
@@ -226,7 +226,7 @@ def test_all_backups_lost_restarts_from_zero():
 
 
 def test_superpeer_failure_does_not_stop_application():
-    cluster = build_cluster(n_daemons=6, n_superpeers=3, seed=47, config=FAST)
+    cluster = build_cluster(n_daemons=6, n_superpeers=3, seed=47, config=FAST, checkpoint=CKPT)
     app = make_poisson_app("p", n=12, num_tasks=3, convergence_threshold=1e-8)
     spawner = launch_application(cluster, app)
     sim = cluster.sim
@@ -239,7 +239,7 @@ def test_superpeer_failure_does_not_stop_application():
 def test_alive_peers_never_stop_during_failure():
     """The asynchronous property: other peers keep iterating while a failed
     task is being replaced."""
-    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=53, config=FAST)
+    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=53, config=FAST, checkpoint=CKPT)
     app = make_geometric_app(num_tasks=4, rate=0.999, threshold=1e-9, flops=3e6)
     spawner = launch_application(cluster, app)
     sim = cluster.sim
@@ -260,7 +260,7 @@ def test_alive_peers_never_stop_during_failure():
 
 
 def test_two_applications_run_concurrently():
-    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=61, config=FAST)
+    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=61, config=FAST, checkpoint=CKPT)
     app1 = make_geometric_app("first", num_tasks=3, threshold=1e-4)
     app2 = make_geometric_app("second", num_tasks=3, threshold=1e-4)
     s1 = launch_application(cluster, app1)

@@ -3,6 +3,7 @@ failure detection timing, convergence protocol (paper §5.2, §5.3, §5.5)."""
 
 import pytest
 
+from repro.checkpoint import FixedPolicy
 from repro.p2p import P2PConfig, build_cluster, launch_application
 from repro.p2p.messages import AppSpec, ApplicationRegister, TaskSlot
 
@@ -15,9 +16,9 @@ FAST = P2PConfig(
     call_timeout=2.0,
     bootstrap_retry_delay=0.5,
     reserve_retry_period=0.5,
-    backup_count=2,
     min_iteration_time=0.01,
 )
+CKPT = FixedPolicy(count=2, frequency=5)
 
 
 # ----------------------------------------------------------- register object
@@ -51,7 +52,7 @@ def test_app_spec_validation():
 
 
 def test_spawner_assigns_all_slots_then_converges():
-    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=71, config=FAST)
+    cluster = build_cluster(n_daemons=5, n_superpeers=2, seed=71, config=FAST, checkpoint=CKPT)
     app = make_geometric_app(num_tasks=4, rate=0.999, threshold=1e-9, flops=3e6)
     spawner = launch_application(cluster, app)
     # allow the heartbeat-timeout eviction of any stale register entries
@@ -64,7 +65,7 @@ def test_spawner_assigns_all_slots_then_converges():
 
 def test_spawner_reservation_spans_superpeers():
     """More tasks than any single Super-Peer has registered."""
-    cluster = build_cluster(n_daemons=6, n_superpeers=3, seed=73, config=FAST)
+    cluster = build_cluster(n_daemons=6, n_superpeers=3, seed=73, config=FAST, checkpoint=CKPT)
     cluster.sim.run(until=2.0)  # let daemons spread over the super-peers
     per_sp = [len(sp.register) for sp in cluster.superpeers]
     spawner = launch_application(cluster, make_geometric_app(num_tasks=6))
@@ -74,7 +75,7 @@ def test_spawner_reservation_spans_superpeers():
 
 
 def test_spawner_detects_failure_within_timeout_window():
-    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=79, config=FAST)
+    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=79, config=FAST, checkpoint=CKPT)
     app = make_geometric_app(num_tasks=3, rate=0.9999, threshold=1e-12, flops=3e6)
     spawner = launch_application(cluster, app)
     sim = cluster.sim
@@ -92,7 +93,7 @@ def test_spawner_detects_failure_within_timeout_window():
 
 
 def test_spawner_broadcasts_register_on_membership_change():
-    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=83, config=FAST)
+    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=83, config=FAST, checkpoint=CKPT)
     app = make_geometric_app(num_tasks=3, rate=0.9999, threshold=1e-12, flops=3e6)
     spawner = launch_application(cluster, app)
     sim = cluster.sim
@@ -115,7 +116,7 @@ def test_spawner_broadcasts_register_on_membership_change():
 
 
 def test_spawner_epoch_filter_ignores_stale_messages():
-    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=89, config=FAST)
+    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=89, config=FAST, checkpoint=CKPT)
     app = make_geometric_app(num_tasks=2, rate=0.9999, threshold=1e-12, flops=3e6)
     spawner = launch_application(cluster, app)
     cluster.sim.run(until=2.0)
@@ -132,7 +133,7 @@ def test_spawner_epoch_filter_ignores_stale_messages():
 
 
 def test_spawner_ignores_foreign_app_messages():
-    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=97, config=FAST)
+    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=97, config=FAST, checkpoint=CKPT)
     app = make_geometric_app(num_tasks=2, rate=0.9999, threshold=1e-12, flops=3e6)
     spawner = launch_application(cluster, app)
     cluster.sim.run(until=2.0)
@@ -143,7 +144,7 @@ def test_spawner_ignores_foreign_app_messages():
 
 
 def test_spawner_replacement_counter_and_epochs():
-    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=101, config=FAST)
+    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=101, config=FAST, checkpoint=CKPT)
     app = make_geometric_app(num_tasks=3, rate=0.9999, threshold=1e-12, flops=3e6)
     spawner = launch_application(cluster, app)
     sim = cluster.sim
@@ -157,7 +158,7 @@ def test_spawner_replacement_counter_and_epochs():
 
 
 def test_set_state_after_done_is_ignored():
-    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=103, config=FAST)
+    cluster = build_cluster(n_daemons=4, n_superpeers=1, seed=103, config=FAST, checkpoint=CKPT)
     spawner = launch_application(cluster, make_geometric_app(num_tasks=2))
     assert run_until_done(cluster, spawner, horizon=120.0)
     msgs = spawner.tracker.messages_received

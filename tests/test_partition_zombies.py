@@ -13,6 +13,7 @@ import pytest
 
 from repro.apps import make_poisson_app
 from repro.numerics import Poisson2D
+from repro.checkpoint import FixedPolicy
 from repro.p2p import P2PConfig, build_cluster, launch_application
 
 from tests.helpers import (
@@ -24,13 +25,14 @@ from tests.helpers import (
 FAST = P2PConfig(
     heartbeat_period=0.5, heartbeat_timeout=2.0, monitor_period=0.5,
     call_timeout=2.0, bootstrap_retry_delay=0.5, reserve_retry_period=0.5,
-    backup_count=3, min_iteration_time=0.01,
+    min_iteration_time=0.01,
 )
+CKPT = FixedPolicy(count=3, frequency=5)
 
 
 def test_partitioned_daemon_is_replaced_and_zombie_is_fenced():
     n, peers = 16, 3
-    cluster = build_cluster(n_daemons=7, n_superpeers=2, seed=61, config=FAST)
+    cluster = build_cluster(n_daemons=7, n_superpeers=2, seed=61, config=FAST, checkpoint=CKPT)
     app = make_poisson_app("p", n=n, num_tasks=peers,
                            convergence_threshold=1e-8)
     spawner = launch_application(cluster, app)
@@ -67,7 +69,7 @@ def test_partitioned_daemon_is_replaced_and_zombie_is_fenced():
 def test_partition_of_superpeer_isolates_only_registration():
     """Cutting a Super-Peer away must not disturb a running application
     (computing peers talk to the Spawner and each other, not to SPs)."""
-    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=67, config=FAST)
+    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=67, config=FAST, checkpoint=CKPT)
     app = make_poisson_app("p", n=16, num_tasks=3, convergence_threshold=1e-8)
     spawner = launch_application(cluster, app)
     sim = cluster.sim
@@ -86,7 +88,7 @@ def test_partition_splitting_the_application_stalls_then_recovers():
     """Split the computing peers from the spawner side: tasks on the far
     side get replaced; after healing, the app still finishes correctly."""
     n, peers = 16, 3
-    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=71, config=FAST)
+    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=71, config=FAST, checkpoint=CKPT)
     app = make_poisson_app("p", n=n, num_tasks=peers,
                            convergence_threshold=1e-8)
     spawner = launch_application(cluster, app)

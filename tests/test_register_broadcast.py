@@ -5,6 +5,7 @@ import pytest
 
 from repro.apps import make_poisson_app
 from repro.numerics import Poisson2D
+from repro.checkpoint import FixedPolicy
 from repro.p2p import P2PConfig, build_cluster, launch_application
 from repro.p2p.messages import ApplicationRegister, RegisterDelta, TaskSlot
 
@@ -18,14 +19,16 @@ from tests.helpers import (
 FAST = P2PConfig(
     heartbeat_period=0.5, heartbeat_timeout=2.0, monitor_period=0.5,
     call_timeout=2.0, bootstrap_retry_delay=0.5, reserve_retry_period=0.5,
-    backup_count=3, min_iteration_time=0.01,
+    min_iteration_time=0.01,
 )
+CKPT = FixedPolicy(count=3, frequency=5)
 
 
 def run_with_failure(mode: str, seed: int = 51):
     cluster = build_cluster(
         n_daemons=8, n_superpeers=2, seed=seed,
         config=FAST.with_(broadcast_mode=mode),
+        checkpoint=CKPT,
     )
     app = make_poisson_app("p", n=16, num_tasks=4, convergence_threshold=1e-8)
     spawner = launch_application(cluster, app)
@@ -105,6 +108,7 @@ def test_delta_gap_triggers_resync_on_live_cluster():
     cluster = build_cluster(
         n_daemons=5, n_superpeers=2, seed=53,
         config=FAST.with_(broadcast_mode="delta"),
+        checkpoint=CKPT,
     )
     app = make_geometric_app(num_tasks=3, rate=0.9999, threshold=1e-12,
                              flops=3e6)

@@ -15,6 +15,7 @@ import pytest
 
 from repro.apps import make_poisson_app
 from repro.numerics import Poisson2D
+from repro.checkpoint import FixedPolicy
 from repro.p2p import (
     P2PConfig,
     StableStore,
@@ -32,8 +33,9 @@ from tests.helpers import (
 FAST = P2PConfig(
     heartbeat_period=0.5, heartbeat_timeout=2.0, monitor_period=0.5,
     call_timeout=2.0, bootstrap_retry_delay=0.5, reserve_retry_period=0.5,
-    backup_count=3, min_iteration_time=0.01,
+    min_iteration_time=0.01,
 )
+CKPT = FixedPolicy(count=3, frequency=5)
 
 
 def test_stable_store_snapshot_isolation():
@@ -52,7 +54,7 @@ def test_stable_store_snapshot_isolation():
 
 
 def test_resume_requires_a_snapshot():
-    cluster = build_cluster(n_daemons=3, n_superpeers=1, seed=95, config=FAST)
+    cluster = build_cluster(n_daemons=3, n_superpeers=1, seed=95, config=FAST, checkpoint=CKPT)
     with pytest.raises(ValueError, match="no stable snapshot"):
         resume_application(cluster, make_geometric_app(num_tasks=2),
                            StableStore())
@@ -63,7 +65,7 @@ def test_resume_rejects_mismatched_app():
 
     store = StableStore()
     store.save("geo", ApplicationRegister.empty("geo", 5), 4200, 0.0)
-    cluster = build_cluster(n_daemons=3, n_superpeers=1, seed=96, config=FAST)
+    cluster = build_cluster(n_daemons=3, n_superpeers=1, seed=96, config=FAST, checkpoint=CKPT)
     with pytest.raises(ValueError, match="does not match"):
         resume_application(cluster, make_geometric_app(num_tasks=2), store)
 
@@ -72,7 +74,7 @@ def test_spawner_failure_and_resume_completes_application():
     """The headline scenario: spawner machine dies mid-run, comes back,
     the resumed Spawner finishes the job with the surviving daemons."""
     n, peers = 16, 3
-    cluster = build_cluster(n_daemons=7, n_superpeers=2, seed=97, config=FAST)
+    cluster = build_cluster(n_daemons=7, n_superpeers=2, seed=97, config=FAST, checkpoint=CKPT)
     store = StableStore()
     app = make_poisson_app("p", n=n, num_tasks=peers,
                            convergence_threshold=1e-8)
@@ -105,7 +107,7 @@ def test_resumed_spawner_replaces_daemons_that_died_during_outage():
     """A computing daemon AND the spawner both fail; after resume the
     replacement spawner detects the silent slot and repairs it."""
     n, peers = 16, 3
-    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=101, config=FAST)
+    cluster = build_cluster(n_daemons=8, n_superpeers=2, seed=101, config=FAST, checkpoint=CKPT)
     store = StableStore()
     app = make_poisson_app("p", n=n, num_tasks=peers,
                            convergence_threshold=1e-8)
@@ -133,7 +135,7 @@ def test_resumed_spawner_replaces_daemons_that_died_during_outage():
 def test_resume_preserves_epoch_fencing():
     """Epochs carried through stable storage keep increasing, so a zombie
     from before the crash is still fenced after the resume."""
-    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=103, config=FAST)
+    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=103, config=FAST, checkpoint=CKPT)
     store = StableStore()
     app = make_geometric_app(num_tasks=2, rate=0.9999, threshold=1e-12,
                              flops=3e6)

@@ -5,6 +5,7 @@ from repro.experiments.timeline import (
     event_timeline,
     run_summary,
 )
+from repro.checkpoint import FixedPolicy
 from repro.p2p import P2PConfig, build_cluster, launch_application
 from repro.util.logging import EventLog
 
@@ -13,8 +14,9 @@ from tests.helpers import make_geometric_app, run_until_done
 FAST = P2PConfig(
     heartbeat_period=0.5, heartbeat_timeout=2.0, monitor_period=0.5,
     call_timeout=2.0, bootstrap_retry_delay=0.5, reserve_retry_period=0.5,
-    backup_count=2, min_iteration_time=0.01,
+    min_iteration_time=0.01,
 )
+CKPT = FixedPolicy(count=2, frequency=5)
 
 
 def test_empty_log_handled():
@@ -26,7 +28,7 @@ def test_empty_log_handled():
 
 
 def test_timeline_of_a_real_run_with_failure():
-    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=37, config=FAST)
+    cluster = build_cluster(n_daemons=6, n_superpeers=2, seed=37, config=FAST, checkpoint=CKPT)
     app = make_geometric_app(num_tasks=3, rate=0.999, threshold=1e-9, flops=3e6)
     spawner = launch_application(cluster, app)
     sim = cluster.sim
